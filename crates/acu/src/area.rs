@@ -1,0 +1,175 @@
+//! Analytic area/power model seeded with the paper's Table II synthesis
+//! results (65 nm Design Compiler, scaled to 22 nm, +50% DRAM-process
+//! penalty).
+//!
+//! Table II reports, per bank (at `P_sub = 16`, `P_add = 4`):
+//!
+//! | unit | area (µm²) | power (mW) |
+//! |---|---|---|
+//! | adder tree | 59 432.1 | 25.1 |
+//! | divider | 3 055.6 | 0.7 |
+//! | data buffer | 2 660.4 | 3.8 |
+//! | ring broadcast | 337.9 | 0.2 |
+//! | others | 828.5 | 2.9 |
+//!
+//! and a total overhead of **2.15 mm²** per 8 GB HBM2 stack (53.15 mm²),
+//! i.e. 4.0% — "far less than the 25% threshold". The design-space
+//! exploration of Figure 13 scales the ACU-resident parts (adder trees,
+//! divider) with `P_sub`, and the adder trees additionally with `P_add`.
+
+use serde::{Deserialize, Serialize};
+
+/// Table II per-bank component areas in µm² at the reference design point.
+pub mod table2 {
+    /// Adder-tree area per bank (µm²), `P_add = 4`.
+    pub const ADDER_TREE_UM2: f64 = 59_432.1;
+    /// Divider area per bank (µm²).
+    pub const DIVIDER_UM2: f64 = 3_055.6;
+    /// Data-buffer area per bank (µm²).
+    pub const DATA_BUFFER_UM2: f64 = 2_660.4;
+    /// Ring-broadcast-unit area per bank (µm²).
+    pub const RING_BROADCAST_UM2: f64 = 337.9;
+    /// Remaining control/overhead area per bank (µm²).
+    pub const OTHERS_UM2: f64 = 828.5;
+
+    /// Adder-tree power per bank (mW).
+    pub const ADDER_TREE_MW: f64 = 25.1;
+    /// Divider power per bank (mW).
+    pub const DIVIDER_MW: f64 = 0.7;
+    /// Data-buffer power per bank (mW).
+    pub const DATA_BUFFER_MW: f64 = 3.8;
+    /// Ring-broadcast power per bank (mW).
+    pub const RING_BROADCAST_MW: f64 = 0.2;
+    /// Other power per bank (mW).
+    pub const OTHERS_MW: f64 = 2.9;
+
+    /// Total TransPIM overhead per 8 GB stack (mm²).
+    pub const OVERHEAD_MM2: f64 = 2.15;
+    /// Die area of an 8 GB HBM2 stack (mm², CACTI-3DD at 22 nm).
+    pub const HBM_8GB_MM2: f64 = 53.15;
+}
+
+/// Reference design point of Table II.
+const REF_P_SUB: f64 = 16.0;
+const REF_P_ADD: f64 = 4.0;
+
+/// Area/power model parameterized by the two DSE knobs.
+///
+/// # Example
+///
+/// ```
+/// use transpim_acu::AreaModel;
+/// let m = AreaModel::new(16, 4);
+/// assert!((m.overhead_fraction() - 0.040).abs() < 0.002); // the paper's 4.0%
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// ACUs per bank.
+    pub p_sub: u32,
+    /// Adder trees per ACU.
+    pub p_add: u32,
+}
+
+impl AreaModel {
+    /// Build the model for a `(P_sub, P_add)` design point.
+    pub fn new(p_sub: u32, p_add: u32) -> Self {
+        Self { p_sub, p_add }
+    }
+
+    fn sub_scale(&self) -> f64 {
+        f64::from(self.p_sub) / REF_P_SUB
+    }
+
+    fn add_scale(&self) -> f64 {
+        f64::from(self.p_add) / REF_P_ADD
+    }
+
+    /// TransPIM area overhead per 8 GB stack in mm². Component proportions
+    /// follow Table II; ACU-resident parts scale with `P_sub`, adder trees
+    /// additionally with `P_add`.
+    pub fn overhead_mm2(&self) -> f64 {
+        use table2::*;
+        let ref_total =
+            ADDER_TREE_UM2 + DIVIDER_UM2 + DATA_BUFFER_UM2 + RING_BROADCAST_UM2 + OTHERS_UM2;
+        let scaled = ADDER_TREE_UM2 * self.sub_scale() * self.add_scale()
+            + DIVIDER_UM2 * self.sub_scale()
+            + DATA_BUFFER_UM2
+            + RING_BROADCAST_UM2
+            + OTHERS_UM2;
+        OVERHEAD_MM2 * scaled / ref_total
+    }
+
+    /// Overhead as a fraction of the 8 GB HBM2 die area.
+    pub fn overhead_fraction(&self) -> f64 {
+        self.overhead_mm2() / table2::HBM_8GB_MM2
+    }
+
+    /// Whether the design stays under the 25% area threshold of He et al.
+    /// that the paper cites as the DRAM-density red line.
+    pub fn within_density_threshold(&self) -> bool {
+        self.overhead_fraction() < 0.25
+    }
+
+    /// Peak power of the added logic per bank in mW, with the same scaling.
+    pub fn unit_power_mw(&self) -> f64 {
+        use table2::*;
+        ADDER_TREE_MW * self.sub_scale() * self.add_scale()
+            + DIVIDER_MW * self.sub_scale()
+            + DATA_BUFFER_MW
+            + RING_BROADCAST_MW
+            + OTHERS_MW
+    }
+
+    /// Adder-tree share of the overhead area (the paper quotes 88%).
+    pub fn adder_tree_share(&self) -> f64 {
+        use table2::*;
+        let at = ADDER_TREE_UM2 * self.sub_scale() * self.add_scale();
+        let total = at
+            + DIVIDER_UM2 * self.sub_scale()
+            + DATA_BUFFER_UM2
+            + RING_BROADCAST_UM2
+            + OTHERS_UM2;
+        at / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_point_matches_table2() {
+        let m = AreaModel::new(16, 4);
+        assert!((m.overhead_mm2() - 2.15).abs() < 1e-9);
+        assert!((m.overhead_fraction() - 0.0404).abs() < 5e-4);
+        assert!((m.adder_tree_share() - 0.88).abs() < 0.02);
+        assert!(m.within_density_threshold());
+    }
+
+    #[test]
+    fn p_sub_64_reaches_paper_dse_area() {
+        // Figure 13(b): one ACU per subarray (P_sub = 64) costs ~15.8%.
+        let m = AreaModel::new(64, 4);
+        assert!(
+            (m.overhead_fraction() - 0.158).abs() < 0.02,
+            "got {}",
+            m.overhead_fraction()
+        );
+        assert!(m.within_density_threshold());
+    }
+
+    #[test]
+    fn area_monotone_in_both_knobs() {
+        let base = AreaModel::new(16, 4).overhead_mm2();
+        assert!(AreaModel::new(16, 8).overhead_mm2() > base);
+        assert!(AreaModel::new(32, 4).overhead_mm2() > base);
+        assert!(AreaModel::new(8, 4).overhead_mm2() < base);
+        assert!(AreaModel::new(16, 1).overhead_mm2() < base);
+    }
+
+    #[test]
+    fn power_at_reference_matches_component_sum() {
+        let m = AreaModel::new(16, 4);
+        assert!((m.unit_power_mw() - 32.7).abs() < 1e-9);
+    }
+}

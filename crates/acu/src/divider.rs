@@ -1,0 +1,154 @@
+//! The ACU's constant divider: a 3-stage pipelined fixed-point reciprocal
+//! unit used by the Softmax rewrite of Section IV-A2.
+//!
+//! TransPIM rewrites Softmax as `(1/Σⱼ e^{S_ij}) · e^{S_ij}` so the only
+//! division is one reciprocal per score row, computed here while the adder
+//! tree accumulates the next row. The functional model implements the
+//! classic Newton–Raphson reciprocal (`y ← y(2 − xy)`) in Q16.16 — one
+//! iteration per pipeline stage — and the property tests bound its error.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of fractional bits of the fixed-point format.
+pub const Q: u32 = 16;
+const TWO: i64 = 2 << Q;
+
+fn qmul(a: i64, b: i64) -> i64 {
+    (a * b) >> Q
+}
+
+/// Fixed-point Q16.16 reciprocal of a positive Q16.16 value, computed with
+/// three Newton–Raphson iterations from a linear seed — the operation the
+/// divider's three pipeline stages perform.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the Softmax denominator is a sum of positive
+/// exponentials, so the hardware never sees a non-positive input).
+///
+/// # Example
+///
+/// ```
+/// use transpim_acu::divider::{recip_q16, Q};
+/// let four = 4 << Q;
+/// let r = recip_q16(four);
+/// assert!((r - (1 << (Q - 2))).abs() <= 2); // 0.25 within 2 ulp
+/// ```
+pub fn recip_q16(x: i64) -> i64 {
+    assert!(x > 0, "reciprocal input must be positive, got {x}");
+    // Normalize x into [0.5, 1): x = m · 2^e with m in [0.5, 1).
+    let bits = 64 - x.leading_zeros() as i32; // position of MSB
+    let e = bits - Q as i32; // x ≈ m · 2^e
+    let m = if e >= 0 { x >> e } else { x << -e }; // Q16.16 in [0.5, 1)
+
+    // Seed: y0 = 48/17 − 32/17·m (minimax linear estimate for [0.5, 1)).
+    let c48_17 = (48 << Q) / 17;
+    let c32_17 = (32 << Q) / 17;
+    let mut y = c48_17 - qmul(c32_17, m);
+
+    // Three pipelined Newton–Raphson stages: y ← y(2 − m·y).
+    for _ in 0..3 {
+        y = qmul(y, TWO - qmul(m, y));
+    }
+
+    // Denormalize: 1/x = (1/m) · 2^{-e}.
+    if e >= 0 { y >> e } else { y << -e }
+}
+
+/// Timing model of the divider: 3-stage pipeline at the ACU clock
+/// (500 MHz), one reciprocal per cycle at full throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DividerModel {
+    /// Pipeline depth (Table I: 3).
+    pub stages: u32,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// Energy per reciprocal in pJ (Table II divider power at 500 MHz
+    /// amortized per operation).
+    pub energy_pj: f64,
+}
+
+impl Default for DividerModel {
+    fn default() -> Self {
+        // Table II: divider power 0.7 mW at 500 MHz → 1.4 pJ per cycle.
+        Self { stages: 3, clock_ghz: 0.5, energy_pj: 1.4 }
+    }
+}
+
+impl DividerModel {
+    /// Latency of computing `count` reciprocals back-to-back in one
+    /// divider, in nanoseconds (pipeline fill + one per cycle).
+    pub fn latency_ns(&self, count: u64) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        (f64::from(self.stages) + (count - 1) as f64) / self.clock_ghz
+    }
+
+    /// Energy of `count` reciprocals, in pJ.
+    pub fn energy_pj(&self, count: u64) -> f64 {
+        count as f64 * self.energy_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn to_f(x: i64) -> f64 {
+        x as f64 / f64::from(1u32 << Q)
+    }
+
+    #[test]
+    fn exact_powers_of_two_within_2_ulp() {
+        assert!((recip_q16(1 << Q) - (1 << Q)).abs() <= 2); // 1/1
+        assert!((recip_q16(2 << Q) - (1 << (Q - 1))).abs() <= 2); // 1/2
+        assert!((recip_q16(1 << (Q - 3)) - (8 << Q)).abs() <= 16); // 1/(1/8) = 8
+    }
+
+    #[test]
+    fn typical_softmax_denominators() {
+        // Softmax row sums for 512 tokens land in the hundreds–thousands.
+        // The Q16.16 output quantizes small reciprocals, so the bound is a
+        // couple of output ulps plus the Newton–Raphson residue.
+        let ulp = 1.0 / f64::from(1u32 << Q);
+        for denom in [3.0f64, 17.5, 511.0, 4096.25] {
+            let x = (denom * f64::from(1u32 << Q)) as i64;
+            let r = to_f(recip_q16(x));
+            let expect = 1.0 / denom;
+            let tol = 3.0 * ulp + 1e-3 * expect;
+            assert!((r - expect).abs() < tol, "1/{denom}: got {r}, want {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero() {
+        recip_q16(0);
+    }
+
+    #[test]
+    fn divider_pipeline_timing() {
+        let d = DividerModel::default();
+        assert_eq!(d.latency_ns(0), 0.0);
+        assert!((d.latency_ns(1) - 6.0).abs() < 1e-9); // 3 cycles at 2 ns
+        assert!((d.latency_ns(101) - (3.0 + 100.0) * 2.0).abs() < 1e-9);
+        assert!((d.energy_pj(10) - 14.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn reciprocal_error_bounded(x in 1i64..(1i64 << 28)) {
+            // Q16.16 inputs from 2^-16 up to 4096: absolute error bounded by
+            // a few output ulps plus a small relative Newton–Raphson residue.
+            let r = recip_q16(x);
+            let expect = 1.0 / to_f(x);
+            let got = to_f(r);
+            let ulp = 1.0 / f64::from(1u32 << Q);
+            let tol = 4.0 * ulp + 1e-3 * expect.abs();
+            prop_assert!((got - expect).abs() <= tol,
+                "1/{} = {expect}, got {got}", to_f(x));
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Conventional-platform baselines for the TransPIM evaluation
+//! (Section V-A2): an analytic GPU/TPU roofline model and the published
+//! ASIC comparator figures.
+//!
+//! These stand in for the paper's measured RTX 2080 Ti / TPUv3 runs (see
+//! the substitution table in DESIGN.md). The calibration constants live in
+//! [`gpu::PlatformModel`]'s constructors and are documented where defined.
+
+pub mod asic;
+pub mod gpu;
+
+pub use asic::AsicSpec;
+pub use gpu::PlatformModel;

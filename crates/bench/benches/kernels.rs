@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the simulator's hot kernels: the
+//! functional bit-plane ALU, the ACU adder tree and divider, the ring-hop
+//! scheduler, and the matrix kernel the functional co-simulation runs on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use transpim_acu::adder_tree::tree_reduce;
+use transpim_acu::divider::recip_q16;
+use transpim_acu::ring::{ring_step, TransferCostModel};
+use transpim_hbm::energy::EnergyParams;
+use transpim_hbm::geometry::{BankId, HbmGeometry};
+use transpim_hbm::resource::{BusParams, ResourceMap};
+use transpim_pim::{BitPlanes, PimAlu};
+use transpim_transformer::matrix::Matrix;
+
+fn bench_bitplane_alu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitplane_alu");
+    for lanes in [512usize, 8192] {
+        let a = BitPlanes::from_values(&vec![173u64; lanes], 8);
+        let b = BitPlanes::from_values(&vec![91u64; lanes], 8);
+        g.bench_with_input(BenchmarkId::new("add8", lanes), &lanes, |bench, _| {
+            bench.iter(|| {
+                let mut alu = PimAlu::new();
+                black_box(alu.add(black_box(&a), black_box(&b)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mul8", lanes), &lanes, |bench, _| {
+            bench.iter(|| {
+                let mut alu = PimAlu::new();
+                black_box(alu.mul(black_box(&a), black_box(&b)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_acu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("acu");
+    let values: Vec<u64> = (0..4096).map(|i| (i * 2654435761u64) >> 40).collect();
+    g.bench_function("tree_reduce_4096", |b| {
+        b.iter(|| black_box(tree_reduce(black_box(&values))))
+    });
+    g.bench_function("recip_q16", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for x in 1..256i64 {
+                acc ^= recip_q16(black_box(x << 16));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ring_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_scheduler");
+    for banks in [32u32, 256, 2048] {
+        let geom = HbmGeometry::default();
+        let map = ResourceMap::new(geom, BusParams::default(), true);
+        let xfer = TransferCostModel::new(geom, EnergyParams::default(), true);
+        let ids: Vec<BankId> = (0..banks).map(BankId).collect();
+        g.bench_with_input(BenchmarkId::new("ring_step", banks), &banks, |b, _| {
+            b.iter(|| black_box(ring_step(&map, &xfer, black_box(&ids), 2048)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matrix");
+    let a = Matrix::from_fn(64, 64, |r, cc| ((r * 64 + cc) as f32 * 0.01).sin());
+    let b = Matrix::from_fn(64, 64, |r, cc| ((r + cc) as f32 * 0.02).cos());
+    g.bench_function("matmul_64", |bench| {
+        bench.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+    });
+    g.bench_function("matmul_transb_64", |bench| {
+        bench.iter(|| black_box(black_box(&a).matmul_transb(black_box(&b))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bitplane_alu, bench_acu, bench_ring_scheduler, bench_matrix);
+criterion_main!(benches);

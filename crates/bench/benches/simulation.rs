@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the end-to-end simulation pipeline: dataflow
+//! compilation and execution-engine pricing — the operations every figure
+//! binary runs dozens of times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use transpim::accelerator::Accelerator;
+use transpim::arch::{ArchConfig, ArchKind};
+use transpim::exec::Executor;
+use transpim::report::DataflowKind;
+use transpim_dataflow::{layer_flow, token_flow};
+use transpim_transformer::workload::Workload;
+
+fn small_workload() -> Workload {
+    let mut w = Workload::triviaqa();
+    w.model.encoder_layers = 4;
+    w
+}
+
+fn decoder_workload() -> Workload {
+    let mut w = Workload::pubmed();
+    w.model.encoder_layers = 2;
+    w.model.decoder_layers = 2;
+    w.decode_len = 16;
+    w.seq_len = 1024;
+    w
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    let w = small_workload();
+    g.bench_function("token_flow_encoder", |b| {
+        b.iter(|| black_box(token_flow::compile(black_box(&w), 2048)))
+    });
+    g.bench_function("layer_flow_encoder", |b| {
+        b.iter(|| black_box(layer_flow::compile(black_box(&w), 2048)))
+    });
+    let wd = decoder_workload();
+    g.bench_function("token_flow_decoder", |b| {
+        b.iter(|| black_box(token_flow::compile(black_box(&wd), 2048)))
+    });
+    g.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("execute");
+    let w = small_workload();
+    let prog = token_flow::compile(&w, 2048);
+    for kind in [ArchKind::TransPim, ArchKind::OriginalPim, ArchKind::Nbp] {
+        g.bench_with_input(BenchmarkId::new("token_program", kind.label()), &kind, |b, &k| {
+            b.iter(|| {
+                let mut ex = Executor::new(ArchConfig::new(k));
+                black_box(ex.run(black_box(&prog)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let w = decoder_workload();
+    g.bench_function("simulate_decoder_workload", |b| {
+        let acc = Accelerator::new(ArchConfig::new(ArchKind::TransPim));
+        b.iter(|| black_box(acc.simulate(black_box(&w), DataflowKind::Token)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_execute, bench_end_to_end);
+criterion_main!(benches);

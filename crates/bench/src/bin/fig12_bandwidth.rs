@@ -1,0 +1,48 @@
+//! Figure 12: average bandwidth usage (bytes read/written ÷ latency).
+//!
+//! The paper reports layer-based systems consuming far more bandwidth than
+//! token-based ones (Layer-TransPIM up to ~1699 GB/s vs Token-TransPIM
+//! ~762 GB/s against the 2 TB/s aggregate), and the TransPIM buffers
+//! *raising* a given dataflow's bandwidth usage because latency drops.
+
+use serde::Serialize;
+use transpim_bench::{all_systems, run_system, write_json};
+use transpim_hbm::config::HbmConfig;
+use transpim_transformer::workload::Workload;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    system: String,
+    bandwidth_gbs: f64,
+}
+
+fn main() {
+    let aggregate = HbmConfig::default().aggregated_bandwidth_gbs();
+    println!("Figure 12: average bandwidth usage (aggregate available: {aggregate:.0} GB/s)");
+    let mut rows = Vec::new();
+    for w in Workload::paper_suite() {
+        transpim_bench::rule(64);
+        for (df, kind) in all_systems() {
+            let r = run_system(kind, df, &w, 8);
+            let row = Row {
+                workload: w.name.clone(),
+                system: r.system.clone(),
+                bandwidth_gbs: r.average_bandwidth_gbs(),
+            };
+            println!("{:<10} {:<22} {:>9.1} GB/s", row.workload, row.system, row.bandwidth_gbs);
+            rows.push(row);
+        }
+    }
+
+    // Shape check echoed for EXPERIMENTS.md: layer > token on each arch.
+    let max_for = |sys: &str| {
+        rows.iter().filter(|r| r.system == sys).map(|r| r.bandwidth_gbs).fold(0.0, f64::max)
+    };
+    println!(
+        "\npeak usage: Layer-TransPIM {:.0} GB/s vs Token-TransPIM {:.0} GB/s (paper: 1699 vs 762)",
+        max_for("Layer-TransPIM"),
+        max_for("Token-TransPIM")
+    );
+    write_json("fig12_bandwidth", &rows);
+}

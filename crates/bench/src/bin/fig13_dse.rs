@@ -1,0 +1,110 @@
+//! Figure 13: design-space exploration of the ACU on BERT.
+//!
+//! (a) Adder-tree parallelism `P_add` 1→16: reduction latency drops up to
+//!     10.8× and reduction energy up to 5.7× in the paper.
+//! (b) ACUs per bank `P_sub`: execution time vs area overhead; the paper
+//!     picks `P_sub = 8–16` because `P_sub = 64` costs 15.8% area for 5.4×.
+
+use serde::Serialize;
+use transpim::accelerator::Accelerator;
+use transpim::arch::{ArchConfig, ArchKind};
+use transpim::report::DataflowKind;
+use transpim_acu::adder_tree::{AcuParams, AcuReduceModel};
+use transpim_acu::area::AreaModel;
+use transpim_bench::write_json;
+use transpim_hbm::config::HbmConfig;
+use transpim_transformer::workload::Workload;
+
+#[derive(Serialize)]
+struct PaddRow {
+    p_add: u32,
+    reduce_latency_ns: f64,
+    reduce_energy_pj: f64,
+    latency_vs_p1: f64,
+    energy_vs_p1: f64,
+    workload_latency_ms: f64,
+}
+
+#[derive(Serialize)]
+struct PsubRow {
+    p_sub: u32,
+    workload_latency_ms: f64,
+    speedup_vs_p1: f64,
+    area_overhead_percent: f64,
+}
+
+fn bert_workload() -> Workload {
+    // BERT at a 4 K context: the P_add knob only bites when the reduced
+    // vectors exceed 256·P_add elements, i.e. on long Softmax rows.
+    let mut w = Workload::synthetic_roberta(4096);
+    w.name = "BERT-4096".into();
+    w.model = transpim_transformer::model::ModelConfig::bert_base();
+    w
+}
+
+fn main() {
+    let hbm = HbmConfig::default();
+    let w = bert_workload();
+
+    println!("Figure 13(a): adder-tree parallelism P_add (BERT, 4096-long Softmax reductions)");
+    let base = AcuReduceModel::new(
+        hbm.geometry,
+        hbm.timing,
+        hbm.energy,
+        AcuParams { p_add: 1, ..AcuParams::default() },
+    );
+    let (l1, e1) = (base.vector_latency_ns(4096, 16), base.energy_pj(4096, 16, 1));
+    let mut padd_rows = Vec::new();
+    for p_add in [1u32, 2, 4, 8, 16] {
+        let m = AcuReduceModel::new(
+            hbm.geometry,
+            hbm.timing,
+            hbm.energy,
+            AcuParams { p_add, ..AcuParams::default() },
+        );
+        let lat = m.vector_latency_ns(4096, 16);
+        let pj = m.energy_pj(4096, 16, 1);
+        let arch = ArchConfig::new(ArchKind::TransPim).with_acu(16, p_add);
+        let report = Accelerator::new(arch).simulate(&w, DataflowKind::Token);
+        let row = PaddRow {
+            p_add,
+            reduce_latency_ns: lat,
+            reduce_energy_pj: pj,
+            latency_vs_p1: l1 / lat,
+            energy_vs_p1: e1 / pj,
+            workload_latency_ms: report.latency_ms(),
+        };
+        println!(
+            "  P_add={:<3} reduce {:>8.1} ns ({:>5.2}x vs 1)   energy {:>8.1} pJ ({:>5.2}x)   end-to-end {:>9.2} ms",
+            p_add, lat, row.latency_vs_p1, pj, row.energy_vs_p1, row.workload_latency_ms
+        );
+        padd_rows.push(row);
+    }
+
+    println!();
+    println!("Figure 13(b): ACUs per bank P_sub vs execution time and area");
+    let mut psub_rows = Vec::new();
+    let base_lat = {
+        let arch = ArchConfig::new(ArchKind::TransPim).with_acu(1, 4);
+        Accelerator::new(arch).simulate(&w, DataflowKind::Token).latency_ms()
+    };
+    for p_sub in [1u32, 2, 4, 8, 16, 32, 64] {
+        let arch = ArchConfig::new(ArchKind::TransPim).with_acu(p_sub, 4);
+        let report = Accelerator::new(arch).simulate(&w, DataflowKind::Token);
+        let area = AreaModel::new(p_sub, 4);
+        let row = PsubRow {
+            p_sub,
+            workload_latency_ms: report.latency_ms(),
+            speedup_vs_p1: base_lat / report.latency_ms(),
+            area_overhead_percent: 100.0 * area.overhead_fraction(),
+        };
+        println!(
+            "  P_sub={:<3} latency {:>9.2} ms  speedup {:>5.2}x vs P_sub=1  area overhead {:>5.2}%",
+            p_sub, row.workload_latency_ms, row.speedup_vs_p1, row.area_overhead_percent
+        );
+        psub_rows.push(row);
+    }
+
+    write_json("fig13a_padd", &padd_rows);
+    write_json("fig13b_psub", &psub_rows);
+}

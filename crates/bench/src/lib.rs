@@ -1,0 +1,56 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index), printing the same rows/series the
+//! paper reports and writing a JSON dump alongside for EXPERIMENTS.md.
+
+pub mod chart;
+
+use std::path::Path;
+use transpim::accelerator::Accelerator;
+use transpim::arch::{ArchConfig, ArchKind};
+use transpim::report::{DataflowKind, SimReport};
+use transpim_transformer::workload::Workload;
+
+/// Simulate one `dataflow`-`arch` system on `workload` with `stacks` HBM
+/// stacks.
+pub fn run_system(
+    kind: ArchKind,
+    dataflow: DataflowKind,
+    workload: &Workload,
+    stacks: u32,
+) -> SimReport {
+    let arch = ArchConfig::new(kind).with_stacks(stacks);
+    Accelerator::new(arch).simulate(workload, dataflow)
+}
+
+/// All eight memory-based systems of Figure 10, in the paper's order.
+pub fn all_systems() -> Vec<(DataflowKind, ArchKind)> {
+    let mut v = Vec::new();
+    for kind in ArchKind::ALL {
+        for df in DataflowKind::ALL {
+            v.push((df, kind));
+        }
+    }
+    v
+}
+
+/// Write a serializable value as pretty JSON next to the binaries.
+///
+/// # Panics
+///
+/// Panics on I/O or serialization failure (these binaries are harness
+/// tools; failing loudly is correct).
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    std::fs::write(&path, json).expect("write results file");
+    eprintln!("[results written to {}]", path.display());
+}
+
+/// Pretty horizontal rule for table output.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}

@@ -1,0 +1,362 @@
+//! Architecture-independent dataflow IR.
+//!
+//! A [`Program`] is a list of [`Step`]s in execution order. Each step names
+//! *what* happens (a point-wise PIM batch, a vector reduction, a ring
+//! broadcast round, …) with its per-bank and system-wide work sizes; the
+//! execution engine in the `transpim` crate prices each step for a concrete
+//! architecture (TransPIM, TransPIM-NB, OriginalPIM, NBP) and feeds the
+//! phase engine.
+
+use serde::{Deserialize, Serialize};
+use transpim_hbm::geometry::BankId;
+
+/// A contiguous, ring-ordered range of banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BankRange {
+    /// First bank id.
+    pub start: u32,
+    /// Number of banks.
+    pub count: u32,
+}
+
+impl BankRange {
+    /// A range of `count` banks starting at `start`.
+    pub fn new(start: u32, count: u32) -> Self {
+        Self { start, count }
+    }
+
+    /// Iterate over the bank ids.
+    pub fn iter(&self) -> impl Iterator<Item = BankId> {
+        (self.start..self.start + self.count).map(BankId)
+    }
+
+    /// Bank ids as a vector.
+    pub fn to_vec(&self) -> Vec<BankId> {
+        self.iter().collect()
+    }
+
+    /// Number of banks.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Arithmetic widths used when lowering (Section V-B: 8-bit FC/FFN, 16-bit
+/// Softmax, 5th-order Taylor exponent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Precision {
+    /// Activation/weight width for matmuls.
+    pub act_bits: u32,
+    /// Accumulator/product width streamed into reductions.
+    pub acc_bits: u32,
+    /// Softmax fixed-point width.
+    pub softmax_bits: u32,
+    /// Taylor order for the exponential.
+    pub taylor_order: u32,
+}
+
+impl Default for Precision {
+    fn default() -> Self {
+        Self { act_bits: 8, acc_bits: 16, softmax_bits: 16, taylor_order: 5 }
+    }
+}
+
+/// One dataflow step. Sizes follow two conventions:
+///
+/// * `*_per_bank` — work in the busiest active bank (sets latency),
+/// * `total_*` — system-wide work (sets energy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// Set the scope label for subsequent steps (layer-wise breakdown).
+    Scope(String),
+
+    /// Point-wise multiply of `a_bits`×`b_bits` operands in the subarrays.
+    PointwiseMul {
+        /// Lanes in the busiest bank.
+        elems_per_bank: u64,
+        /// Lanes system-wide.
+        total_elems: u64,
+        /// Width of the first operand.
+        a_bits: u32,
+        /// Width of the second operand.
+        b_bits: u32,
+    },
+
+    /// Point-wise add at `bits` width.
+    PointwiseAdd {
+        /// Lanes in the busiest bank.
+        elems_per_bank: u64,
+        /// Lanes system-wide.
+        total_elems: u64,
+        /// Operand width.
+        bits: u32,
+    },
+
+    /// Point-wise Taylor exponential (Softmax step 1).
+    Exp {
+        /// Lanes in the busiest bank.
+        elems_per_bank: u64,
+        /// Lanes system-wide.
+        total_elems: u64,
+        /// Fixed-point width (16 for Softmax).
+        bits: u32,
+        /// Taylor order (5 in the paper).
+        order: u32,
+    },
+
+    /// Vector reductions (dot-product accumulation, Softmax row sums).
+    Reduce {
+        /// Length of each reduced vector.
+        vec_len: u32,
+        /// Element width.
+        bits: u32,
+        /// Vectors reduced in the busiest bank.
+        vectors_per_bank: u64,
+        /// Vectors reduced system-wide.
+        total_vectors: u64,
+    },
+
+    /// Reciprocals in the ACU divider (Softmax normalization).
+    Recip {
+        /// Reciprocals in the busiest bank.
+        per_bank: u64,
+        /// Reciprocals system-wide.
+        total: u64,
+    },
+
+    /// Replicate a scalar across a row (reciprocal spreading,
+    /// Figure 8(b) steps 3–4).
+    Replicate {
+        /// Width of the replicated value.
+        value_bits: u32,
+        /// Copies per replication.
+        copies: u32,
+        /// Replications in the busiest bank.
+        count_per_bank: u64,
+        /// Replications system-wide.
+        total_count: u64,
+    },
+
+    /// Broadcast identical data (weights) from the host to every active
+    /// bank using per-channel broadcast writes.
+    HostBroadcast {
+        /// Payload bytes (one copy; it reaches all banks).
+        bytes: u64,
+        /// Banks that latch the broadcast.
+        banks: u32,
+    },
+
+    /// Scatter distinct data (input embeddings) from the host to banks.
+    HostScatter {
+        /// Total bytes across all banks.
+        total_bytes: u64,
+    },
+
+    /// `repeat` identical ring-broadcast steps over `banks`, each bank
+    /// forwarding `bytes_per_hop` to its successor per step.
+    RingBroadcast {
+        /// The ring (one sequence's banks).
+        banks: BankRange,
+        /// Shard payload per hop.
+        bytes_per_hop: u64,
+        /// Number of ring steps (`N−1` for a full broadcast).
+        repeat: u64,
+        /// Identical disjoint rings running concurrently (batched
+        /// sequences); scales energy/bytes, not latency.
+        parallel: u32,
+    },
+
+    /// One-to-all broadcast of `bytes` from a source bank to every bank in
+    /// the range (decoder `Q_new` distribution).
+    OneToAll {
+        /// Source bank.
+        src: u32,
+        /// Receivers.
+        banks: BankRange,
+        /// Payload bytes.
+        bytes: u64,
+        /// Concurrent disjoint broadcasts (batched sequences).
+        parallel: u32,
+    },
+
+    /// Multi-step parallel partial-sum reduction across banks: `log2(N)`
+    /// rounds of pairwise transfers plus in-bank adds (decoder output).
+    PairwiseReduceTree {
+        /// Participating banks.
+        banks: BankRange,
+        /// Partial-sum payload per transfer.
+        bytes: u64,
+        /// Partial-sum element width.
+        bits: u32,
+        /// Elements per partial sum (added after each transfer).
+        elems: u64,
+        /// Concurrent disjoint trees (batched sequences).
+        parallel: u32,
+    },
+
+    /// Layer-based dataflow: one payload duplicated into many banks (the
+    /// full `K`/`V` matrix every bank needs for its score rows). On the
+    /// original datapath each bank's copy is a separate shared-bus
+    /// transfer; TransPIM's broadcast write delivers one copy per channel —
+    /// the source of the paper's 18.2× layer-dataflow movement gain.
+    BroadcastDup {
+        /// Payload bytes (one copy).
+        bytes: u64,
+        /// Receiving banks.
+        banks: u32,
+    },
+
+    /// Intra-bank data reorganization (transposes, operand staging) done
+    /// through the data buffer (or the row buffer when absent).
+    IntraBankCopy {
+        /// Bytes moved in the busiest bank.
+        bytes_per_bank: u64,
+        /// Bytes moved system-wide.
+        total_bytes: u64,
+    },
+
+    /// Inter-layer shuffle of the layer-based dataflow: operands and
+    /// results stream over the shared datapath between layers, including
+    /// bit-serial layout reorganization.
+    ShuffleAll {
+        /// Total bytes crossing the datapath.
+        total_bytes: u64,
+    },
+
+    /// Plain result reads/stores ("other" in the Figure 11 breakdown).
+    MemTouch {
+        /// Bytes in the busiest bank.
+        bytes_per_bank: u64,
+        /// Bytes system-wide.
+        total_bytes: u64,
+    },
+}
+
+impl Step {
+    /// Scope constructor.
+    pub fn scope(label: impl Into<String>) -> Self {
+        Step::Scope(label.into())
+    }
+}
+
+/// A compiled dataflow program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Steps in execution order.
+    pub steps: Vec<Step>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a step.
+    pub fn push(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total bytes loaded from the host (weights + inputs) — the
+    /// Figure 3(b) "loaded data" metric for host traffic.
+    pub fn host_bytes(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::HostBroadcast { bytes, .. } => *bytes,
+                Step::HostScatter { total_bytes } => *total_bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes moved between or inside banks (ring broadcast, shuffles,
+    /// copies, reduction trees).
+    pub fn internal_movement_bytes(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::RingBroadcast { banks, bytes_per_hop, repeat, parallel } => {
+                    u64::from(banks.count) * bytes_per_hop * repeat * u64::from(*parallel)
+                }
+                Step::OneToAll { banks, bytes, parallel, .. } => {
+                    u64::from(banks.count) * bytes * u64::from(*parallel)
+                }
+                Step::PairwiseReduceTree { banks, bytes, parallel, .. } => {
+                    u64::from(banks.count.saturating_sub(1)) * bytes * u64::from(*parallel)
+                }
+                Step::BroadcastDup { bytes, banks } => bytes * u64::from(*banks),
+                Step::IntraBankCopy { total_bytes, .. } => *total_bytes,
+                Step::ShuffleAll { total_bytes } => *total_bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total point-wise multiply lanes (≈ MAC count) — used by sanity tests
+    /// to check work conservation across dataflows.
+    pub fn total_mul_elems(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::PointwiseMul { total_elems, .. } => *total_elems,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl Extend<Step> for Program {
+    fn extend<T: IntoIterator<Item = Step>>(&mut self, iter: T) {
+        self.steps.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_range_iteration() {
+        let r = BankRange::new(4, 3);
+        let ids: Vec<u32> = r.iter().map(|b| b.0).collect();
+        assert_eq!(ids, vec![4, 5, 6]);
+        assert!(!r.is_empty());
+        assert!(BankRange::new(0, 0).is_empty());
+    }
+
+    #[test]
+    fn program_accounting() {
+        let mut p = Program::new();
+        p.push(Step::HostBroadcast { bytes: 100, banks: 8 });
+        p.push(Step::HostScatter { total_bytes: 50 });
+        p.push(Step::RingBroadcast {
+            banks: BankRange::new(0, 4),
+            bytes_per_hop: 10,
+            repeat: 3,
+            parallel: 2,
+        });
+        p.push(Step::ShuffleAll { total_bytes: 200 });
+        p.push(Step::BroadcastDup { bytes: 7, banks: 10 });
+        p.push(Step::PointwiseMul { elems_per_bank: 5, total_elems: 20, a_bits: 8, b_bits: 8 });
+        assert_eq!(p.host_bytes(), 150);
+        assert_eq!(p.internal_movement_bytes(), 4 * 10 * 3 * 2 + 200 + 70);
+        assert_eq!(p.total_mul_elems(), 20);
+        assert_eq!(p.len(), 6);
+    }
+}

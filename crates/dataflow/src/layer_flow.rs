@@ -1,0 +1,409 @@
+//! The layer-based baseline dataflow (Section II-C).
+//!
+//! Prior memory-based DNN accelerators schedule at layer granularity: the
+//! whole memory processes one layer at a time, so *all* of a layer's
+//! operands are loaded (and duplicated for parallelism) before compute, and
+//! every intermediate result is written back and re-distributed for the
+//! next layer. For attention this is expensive twice over:
+//!
+//! * each bank computing score rows needs the **full** `K` (and later `V`)
+//!   matrix — a one-to-many duplication ([`Step::BroadcastDup`]) whose
+//!   loaded volume grows with the number of active banks,
+//! * the `h × L × L` score matrix itself is written out after the score
+//!   stage, reloaded for Softmax, and reloaded again for the weighted-value
+//!   stage — the quadratic term of Figure 3(b).
+//!
+//! Compute work is identical to the token dataflow (same arithmetic, spread
+//! over all banks); only the movement differs — which is exactly the
+//! comparison the paper's Figure 10/11 makes.
+
+use crate::ir::{BankRange, Precision, Program, Step};
+use transpim_transformer::model::ModelConfig;
+use transpim_transformer::workload::Workload;
+
+/// Compile `workload` under the layer-based dataflow for `total_banks`.
+pub fn compile(workload: &Workload, total_banks: u32) -> Program {
+    compile_with(workload, total_banks, Precision::default())
+}
+
+/// Compile with explicit precision.
+pub fn compile_with(workload: &Workload, total_banks: u32, p: Precision) -> Program {
+    let mut prog = Program::new();
+    let cfg = &workload.model;
+    let b = workload.batch as u64;
+
+    prog.push(Step::scope("load.input"));
+    prog.push(Step::HostScatter {
+        total_bytes: workload.batch_tokens() * cfg.d_model as u64 * u64::from(p.act_bits) / 8,
+    });
+
+    let enc_layers = if cfg.encoder_layers > 0 { cfg.encoder_layers } else { cfg.decoder_layers };
+    for _ in 0..enc_layers {
+        encoder_layer(&mut prog, cfg, workload.seq_len as u64, b, total_banks, p);
+    }
+
+    if cfg.decoder_layers > 0 && workload.decode_len > 0 {
+        for t in 0..workload.decode_len as u64 {
+            for _ in 0..cfg.decoder_layers {
+                decoder_step_layer(&mut prog, cfg, workload.seq_len as u64, t, b, total_banks, p);
+            }
+        }
+    }
+    prog
+}
+
+/// Bytes loaded for one encoder layer at sequence length `l` — the
+/// Figure 3(b) accounting, exposed for the motivation experiment.
+pub fn encoder_layer_loaded_bytes(
+    cfg: &ModelConfig,
+    l: u64,
+    active_banks: u64,
+    p: Precision,
+) -> [(&'static str, u64); 4] {
+    let d = cfg.d_model as u64;
+    let h = cfg.heads as u64;
+    let dff = cfg.d_ff as u64;
+    let act_b = u64::from(p.act_bits) / 8;
+    let sm_b = u64::from(p.softmax_bits) / 8;
+    let fc = 3 * l * d * act_b + 3 * d * d * act_b;
+    // Q scatter + K and V duplicated into every active bank + the score
+    // matrix written, reloaded for Softmax, and reloaded again.
+    let attn = l * d * act_b
+        + 2 * l * d * act_b * active_banks
+        + 3 * h * l * l * sm_b
+        + d * d * act_b;
+    let softmax = 2 * h * l * l * sm_b;
+    let ffn = l * d * act_b + 2 * d * dff * act_b + l * dff * act_b;
+    [("fc", fc), ("attention", attn), ("softmax", softmax), ("ffn", ffn)]
+}
+
+fn encoder_layer(
+    prog: &mut Program,
+    cfg: &ModelConfig,
+    l: u64,
+    b: u64,
+    total_banks: u32,
+    p: Precision,
+) {
+    let n = u64::from(total_banks);
+    let d = cfg.d_model as u64;
+    let h = cfg.heads as u64;
+    let dh = d / h;
+    let dff = cfg.d_ff as u64;
+    let act_b = u64::from(p.act_bits) / 8;
+    let sm_b = u64::from(p.softmax_bits) / 8;
+    let per_bank = |total: u64| total.div_ceil(n);
+
+    // ---- FC: reload inputs (duplicated 3× for the Q/K/V banks), broadcast
+    // weights, compute, store Q/K/V.
+    prog.push(Step::scope("enc.fc"));
+    prog.push(Step::ShuffleAll { total_bytes: 3 * l * d * act_b * b });
+    prog.push(Step::HostBroadcast { bytes: 3 * d * d * act_b, banks: total_banks });
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(3 * l * d * d * b),
+        total_elems: 3 * l * d * d * b,
+        a_bits: p.act_bits,
+        b_bits: p.act_bits,
+    });
+    prog.push(Step::Reduce {
+        vec_len: d as u32,
+        bits: p.acc_bits,
+        vectors_per_bank: per_bank(3 * l * d * b),
+        total_vectors: 3 * l * d * b,
+    });
+    prog.push(Step::MemTouch { bytes_per_bank: per_bank(3 * l * d * act_b * b), total_bytes: 3 * l * d * act_b * b });
+
+    // ---- Attention scores: Q scattered to the banks owning score rows,
+    // K duplicated into every one of them.
+    prog.push(Step::scope("enc.attn"));
+    prog.push(Step::ShuffleAll { total_bytes: l * d * act_b * b });
+    prog.push(Step::BroadcastDup { bytes: l * d * act_b * b, banks: total_banks });
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(l * l * d * b),
+        total_elems: l * l * d * b,
+        a_bits: p.act_bits,
+        b_bits: p.act_bits,
+    });
+    prog.push(Step::Reduce {
+        vec_len: dh as u32,
+        bits: p.acc_bits,
+        vectors_per_bank: per_bank(l * l * h * b),
+        total_vectors: l * l * h * b,
+    });
+    // Score matrix written out for the Softmax stage.
+    prog.push(Step::MemTouch { bytes_per_bank: per_bank(h * l * l * sm_b * b), total_bytes: h * l * l * sm_b * b });
+
+    // ---- Softmax: scores reloaded and redistributed row-wise, then
+    // written back — the quadratic reload of Figure 3(b).
+    prog.push(Step::scope("enc.softmax"));
+    prog.push(Step::ShuffleAll { total_bytes: 2 * h * l * l * sm_b * b });
+    prog.push(Step::Exp {
+        elems_per_bank: per_bank(l * l * h * b),
+        total_elems: l * l * h * b,
+        bits: p.softmax_bits,
+        order: p.taylor_order,
+    });
+    prog.push(Step::Reduce {
+        vec_len: l as u32,
+        bits: p.softmax_bits,
+        vectors_per_bank: per_bank(l * h * b),
+        total_vectors: l * h * b,
+    });
+    prog.push(Step::Recip { per_bank: per_bank(l * h * b), total: l * h * b });
+    prog.push(Step::Replicate {
+        value_bits: p.softmax_bits,
+        copies: l as u32,
+        count_per_bank: per_bank(l * h * b),
+        total_count: l * h * b,
+    });
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(l * l * h * b),
+        total_elems: l * l * h * b,
+        a_bits: p.softmax_bits,
+        b_bits: p.softmax_bits,
+    });
+
+    // ---- Weighted values: probabilities reloaded, V duplicated.
+    prog.push(Step::scope("enc.attn"));
+    prog.push(Step::ShuffleAll { total_bytes: h * l * l * sm_b * b });
+    prog.push(Step::BroadcastDup { bytes: l * d * act_b * b, banks: total_banks });
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(l * l * d * b),
+        total_elems: l * l * d * b,
+        a_bits: p.softmax_bits,
+        b_bits: p.act_bits,
+    });
+    prog.push(Step::Reduce {
+        vec_len: l as u32,
+        bits: p.acc_bits,
+        vectors_per_bank: per_bank(l * d * b),
+        total_vectors: l * d * b,
+    });
+    prog.push(Step::HostBroadcast { bytes: d * d * act_b, banks: total_banks });
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(l * d * d * b),
+        total_elems: l * d * d * b,
+        a_bits: p.act_bits,
+        b_bits: p.act_bits,
+    });
+    prog.push(Step::Reduce {
+        vec_len: d as u32,
+        bits: p.acc_bits,
+        vectors_per_bank: per_bank(l * d * b),
+        total_vectors: l * d * b,
+    });
+    prog.push(Step::PointwiseAdd { elems_per_bank: per_bank(l * d * b), total_elems: l * d * b, bits: p.act_bits });
+
+    // ---- FFN: attention output reloaded, weights broadcast.
+    prog.push(Step::scope("enc.ffn"));
+    prog.push(Step::ShuffleAll { total_bytes: l * d * act_b * b });
+    prog.push(Step::HostBroadcast { bytes: 2 * d * dff * act_b, banks: total_banks });
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(l * d * dff * b),
+        total_elems: l * d * dff * b,
+        a_bits: p.act_bits,
+        b_bits: p.act_bits,
+    });
+    prog.push(Step::Reduce {
+        vec_len: d as u32,
+        bits: p.acc_bits,
+        vectors_per_bank: per_bank(l * dff * b),
+        total_vectors: l * dff * b,
+    });
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(l * dff * d * b),
+        total_elems: l * dff * d * b,
+        a_bits: p.act_bits,
+        b_bits: p.act_bits,
+    });
+    prog.push(Step::Reduce {
+        vec_len: dff as u32,
+        bits: p.acc_bits,
+        vectors_per_bank: per_bank(l * d * b),
+        total_vectors: l * d * b,
+    });
+    prog.push(Step::PointwiseAdd { elems_per_bank: per_bank(l * d * b), total_elems: l * d * b, bits: p.act_bits });
+    prog.push(Step::MemTouch { bytes_per_bank: per_bank(l * d * act_b * b), total_bytes: l * d * act_b * b });
+}
+
+fn decoder_step_layer(
+    prog: &mut Program,
+    cfg: &ModelConfig,
+    l: u64,
+    t: u64,
+    b: u64,
+    total_banks: u32,
+    p: Precision,
+) {
+    let n = u64::from(total_banks);
+    let banks = BankRange::new(0, total_banks);
+    let d = cfg.d_model as u64;
+    let h = cfg.heads as u64;
+    let dff = cfg.d_ff as u64;
+    let act_b = u64::from(p.act_bits) / 8;
+    let sm_b = u64::from(p.softmax_bits) / 8;
+    let per_bank = |total: u64| total.div_ceil(n);
+    let ctx = l + t; // attended positions
+
+    // Whole-memory-per-layer: the decoder's single-token matvecs are
+    // output-split across the banks, so this layer's weights are
+    // *scattered* (each bank holds only its output columns) and re-streamed
+    // every step, while the new token's state is duplicated to every bank.
+    prog.push(Step::scope("dec.fc"));
+    let weight_bytes = (4 * d * d
+        + if cfg.cross_attention { 4 * d * d } else { 0 }
+        + 2 * d * dff)
+        * act_b;
+    prog.push(Step::HostScatter { total_bytes: weight_bytes });
+    prog.push(Step::ShuffleAll { total_bytes: (2 * ctx * d * act_b + d * act_b) * b });
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(3 * d * d * b),
+        total_elems: 3 * d * d * b,
+        a_bits: p.act_bits,
+        b_bits: p.act_bits,
+    });
+    prog.push(Step::Reduce {
+        vec_len: d as u32,
+        bits: p.acc_bits,
+        vectors_per_bank: per_bank(3 * d * b),
+        total_vectors: 3 * d * b,
+    });
+
+    prog.push(Step::scope("dec.attn"));
+    prog.push(Step::BroadcastDup { bytes: d * act_b * b, banks: total_banks }); // q to all banks
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(ctx * d * b),
+        total_elems: ctx * d * b,
+        a_bits: p.act_bits,
+        b_bits: p.act_bits,
+    });
+    prog.push(Step::Reduce {
+        vec_len: (d / h) as u32,
+        bits: p.acc_bits,
+        vectors_per_bank: per_bank(ctx * h * b),
+        total_vectors: ctx * h * b,
+    });
+    prog.push(Step::Exp {
+        elems_per_bank: per_bank(ctx * h * b),
+        total_elems: ctx * h * b,
+        bits: p.softmax_bits,
+        order: p.taylor_order,
+    });
+    prog.push(Step::Reduce {
+        vec_len: ctx.div_ceil(n).max(1) as u32,
+        bits: p.softmax_bits,
+        vectors_per_bank: h,
+        total_vectors: h * n * b,
+    });
+    prog.push(Step::PairwiseReduceTree {
+        banks,
+        bytes: h * sm_b,
+        bits: p.softmax_bits,
+        elems: h,
+        parallel: b as u32,
+    });
+    prog.push(Step::Recip { per_bank: h, total: h * b });
+    prog.push(Step::BroadcastDup { bytes: h * sm_b * b, banks: total_banks });
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(ctx * h * b),
+        total_elems: ctx * h * b,
+        a_bits: p.softmax_bits,
+        b_bits: p.softmax_bits,
+    });
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(ctx * d * b),
+        total_elems: ctx * d * b,
+        a_bits: p.softmax_bits,
+        b_bits: p.act_bits,
+    });
+    prog.push(Step::Reduce {
+        vec_len: ctx.div_ceil(n).max(1) as u32,
+        bits: p.acc_bits,
+        vectors_per_bank: d,
+        total_vectors: d * n * b,
+    });
+    prog.push(Step::PairwiseReduceTree {
+        banks,
+        bytes: d * sm_b,
+        bits: p.acc_bits,
+        elems: d,
+        parallel: b as u32,
+    });
+    let proj_matvecs: u64 = if cfg.cross_attention { 4 } else { 2 };
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(proj_matvecs * d * d * b),
+        total_elems: proj_matvecs * d * d * b,
+        a_bits: p.act_bits,
+        b_bits: p.act_bits,
+    });
+    prog.push(Step::Reduce {
+        vec_len: d as u32,
+        bits: p.acc_bits,
+        vectors_per_bank: per_bank(proj_matvecs * d * b),
+        total_vectors: proj_matvecs * d * b,
+    });
+
+    prog.push(Step::scope("dec.ffn"));
+    prog.push(Step::PointwiseMul {
+        elems_per_bank: per_bank(2 * d * dff * b),
+        total_elems: 2 * d * dff * b,
+        a_bits: p.act_bits,
+        b_bits: p.act_bits,
+    });
+    prog.push(Step::Reduce {
+        vec_len: d as u32,
+        bits: p.acc_bits,
+        vectors_per_bank: per_bank(2 * dff * b),
+        total_vectors: 2 * dff * b,
+    });
+    prog.push(Step::MemTouch { bytes_per_bank: per_bank(d * act_b * b), total_bytes: d * act_b * b });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token_flow;
+    use transpim_transformer::workload::Workload;
+
+    #[test]
+    fn layer_flow_moves_far_more_than_token_flow() {
+        let w = Workload::triviaqa();
+        let layer = compile(&w, 2048);
+        let token = token_flow::compile(&w, 2048);
+        let lm = layer.internal_movement_bytes();
+        let tm = token.internal_movement_bytes();
+        assert!(lm > 3 * tm, "layer {lm} should dwarf token {tm}");
+    }
+
+    #[test]
+    fn compute_work_matches_token_flow() {
+        let w = Workload::imdb();
+        let layer = compile(&w, 2048);
+        let token = token_flow::compile(&w, 2048);
+        assert_eq!(layer.total_mul_elems(), token.total_mul_elems());
+    }
+
+    #[test]
+    fn loaded_bytes_grow_quadratically_in_attention() {
+        // Figure 3(b): the attention/softmax loads are quadratic in L.
+        let cfg = transpim_transformer::model::ModelConfig::roberta_base();
+        let p = Precision::default();
+        let at = |l: u64| {
+            encoder_layer_loaded_bytes(&cfg, l, 2048, p)
+                .iter()
+                .find(|(k, _)| *k == "softmax")
+                .unwrap()
+                .1 as f64
+        };
+        let ratio = at(2048) / at(512);
+        assert!((ratio - 16.0).abs() < 1.0, "softmax reload ratio {ratio} should be ~16 for 4x L");
+    }
+
+    #[test]
+    fn no_ring_broadcasts_in_layer_flow() {
+        let w = Workload::imdb();
+        let prog = compile(&w, 2048);
+        assert!(!prog.steps.iter().any(|s| matches!(s, Step::RingBroadcast { .. })));
+        assert!(prog.steps.iter().any(|s| matches!(s, Step::BroadcastDup { .. })));
+    }
+}

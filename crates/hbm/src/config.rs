@@ -1,0 +1,116 @@
+//! Top-level HBM system configuration (geometry + timing + energy + buses).
+
+use crate::energy::EnergyParams;
+use crate::geometry::HbmGeometry;
+use crate::resource::{BusParams, ResourceMap};
+use crate::timing::TimingParams;
+use serde::{Deserialize, Serialize};
+
+/// Complete description of the memory system. [`Default`] is the Table I
+/// 8-stack configuration evaluated in the paper.
+///
+/// # Example
+///
+/// ```
+/// use transpim_hbm::config::HbmConfig;
+///
+/// let cfg = HbmConfig::builder().stacks(2).build();
+/// assert_eq!(cfg.geometry.stacks, 2);
+/// assert_eq!(cfg.geometry.capacity_bytes(), 16 << 30);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct HbmConfig {
+    /// Physical organization.
+    pub geometry: HbmGeometry,
+    /// DRAM timing parameters.
+    pub timing: TimingParams,
+    /// DRAM + peripheral energy parameters.
+    pub energy: EnergyParams,
+    /// Bus and link bandwidths.
+    pub bus: BusParams,
+}
+
+
+impl HbmConfig {
+    /// Start building a configuration from the Table I defaults.
+    pub fn builder() -> HbmConfigBuilder {
+        HbmConfigBuilder { cfg: HbmConfig::default() }
+    }
+
+    /// Construct the resource map for this configuration.
+    ///
+    /// `ring_links` selects whether the TransPIM broadcast hardware is
+    /// present (see [`ResourceMap`]).
+    pub fn resource_map(&self, ring_links: bool) -> ResourceMap {
+        ResourceMap::new(self.geometry, self.bus, ring_links)
+    }
+
+    /// Aggregated external bandwidth of the system in GB/s
+    /// (`8 stacks × 256 GB/s = 2 TB/s` in Section V-C).
+    pub fn aggregated_bandwidth_gbs(&self) -> f64 {
+        f64::from(self.geometry.stacks) * f64::from(self.geometry.channels_per_stack)
+            * self.bus.channel_gbs
+    }
+}
+
+/// Builder for [`HbmConfig`] (see [`HbmConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct HbmConfigBuilder {
+    cfg: HbmConfig,
+}
+
+impl HbmConfigBuilder {
+    /// Set the number of HBM stacks.
+    pub fn stacks(mut self, stacks: u32) -> Self {
+        self.cfg.geometry.stacks = stacks;
+        self
+    }
+
+    /// Replace the geometry wholesale.
+    pub fn geometry(mut self, geometry: HbmGeometry) -> Self {
+        self.cfg.geometry = geometry;
+        self
+    }
+
+    /// Replace the timing parameters.
+    pub fn timing(mut self, timing: TimingParams) -> Self {
+        self.cfg.timing = timing;
+        self
+    }
+
+    /// Replace the energy parameters.
+    pub fn energy(mut self, energy: EnergyParams) -> Self {
+        self.cfg.energy = energy;
+        self
+    }
+
+    /// Replace the bus parameters.
+    pub fn bus(mut self, bus: BusParams) -> Self {
+        self.cfg.bus = bus;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> HbmConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_system() {
+        let cfg = HbmConfig::default();
+        assert_eq!(cfg.geometry.total_banks(), 2048);
+        assert_eq!(cfg.aggregated_bandwidth_gbs(), 2048.0); // 2 TB/s
+    }
+
+    #[test]
+    fn builder_overrides_stacks() {
+        let cfg = HbmConfig::builder().stacks(1).build();
+        assert_eq!(cfg.geometry.total_banks(), 256);
+    }
+}

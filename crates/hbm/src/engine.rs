@@ -1,0 +1,352 @@
+//! Discrete-event phase engine.
+//!
+//! The dataflow compilers lower a Transformer into a sequence of *phases*
+//! (FC compute, a ring-broadcast step, a Softmax normalization, ...). Within
+//! a phase, operations on disjoint resources proceed in parallel and
+//! operations sharing a resource serialize; phases are barriers, matching the
+//! step-synchronous structure of the paper's dataflow (Section III). Each
+//! phase is attributed to one breakdown [`Category`], which is how the
+//! Figure 11 breakdowns are produced.
+
+use crate::resource::ResourceId;
+use crate::stats::{Category, ScopedStats, SimStats};
+use std::collections::HashMap;
+
+/// One operation inside a [`Phase::Scheduled`] phase: it occupies every
+/// listed resource for `latency_ns`, consumes `energy_pj`, and moves `bytes`
+/// through the memory system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseOp {
+    /// Resources occupied for the duration of the op.
+    pub resources: Vec<ResourceId>,
+    /// Occupancy time in nanoseconds.
+    pub latency_ns: f64,
+    /// Energy in picojoules.
+    pub energy_pj: f64,
+    /// Bytes read/written (bandwidth accounting).
+    pub bytes: f64,
+}
+
+/// A barrier-synchronized execution phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Phase {
+    /// Operations placed by greedy list scheduling with resource contention
+    /// (used for bus transfers, reductions across banks, ...). Ops are
+    /// started in order; each starts as soon as all its resources are free.
+    Scheduled {
+        /// Breakdown category of the whole phase.
+        category: Category,
+        /// Operations to schedule, in issue order.
+        ops: Vec<PhaseOp>,
+    },
+    /// A lock-step operation whose makespan is known in closed form — e.g.
+    /// "every bank executes this identical PIM batch in parallel" or a
+    /// memoized composite such as `n` identical ring steps. Latency is the
+    /// makespan; energy and bytes are system-wide totals.
+    Lump {
+        /// Breakdown category of the whole phase.
+        category: Category,
+        /// Phase makespan in nanoseconds.
+        latency_ns: f64,
+        /// Total energy in picojoules.
+        energy_pj: f64,
+        /// Total bytes moved.
+        bytes: f64,
+    },
+}
+
+impl Phase {
+    /// Convenience constructor for a [`Phase::Lump`].
+    pub fn lump(category: Category, latency_ns: f64, energy_pj: f64, bytes: f64) -> Self {
+        Phase::Lump { category, latency_ns, energy_pj, bytes }
+    }
+}
+
+/// Greedy list scheduler: returns the makespan of `ops` run under resource
+/// contention. Each op starts at the earliest time all of its resources are
+/// free (ops are considered in order), which reproduces the Figure 9 ring
+/// schedule when the hops are issued in the paper's slot order.
+pub fn schedule_makespan(ops: &[PhaseOp]) -> f64 {
+    let mut free_at: HashMap<ResourceId, f64> = HashMap::new();
+    let mut makespan = 0.0f64;
+    for op in ops {
+        let start = op
+            .resources
+            .iter()
+            .map(|r| free_at.get(r).copied().unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+        let end = start + op.latency_ns;
+        for r in &op.resources {
+            free_at.insert(*r, end);
+        }
+        makespan = makespan.max(end);
+    }
+    makespan
+}
+
+/// One recorded phase on the simulated timeline (for trace export).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseEvent {
+    /// Scope label active when the phase ran.
+    pub scope: String,
+    /// Breakdown category.
+    pub category: Category,
+    /// Start time (ns since simulation start).
+    pub start_ns: f64,
+    /// Duration (ns).
+    pub dur_ns: f64,
+    /// Energy (pJ).
+    pub energy_pj: f64,
+}
+
+/// The phase engine: runs phases, advances simulated time, and accumulates
+/// global and per-scope statistics.
+///
+/// # Example
+///
+/// ```
+/// use transpim_hbm::engine::{Engine, Phase};
+/// use transpim_hbm::stats::Category;
+///
+/// let mut e = Engine::new();
+/// e.set_scope("fc");
+/// e.run(Phase::lump(Category::Arithmetic, 100.0, 5_000.0, 0.0));
+/// assert_eq!(e.stats().latency_ns, 100.0);
+/// assert_eq!(e.scoped().get("fc").unwrap().latency_ns, 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    stats: SimStats,
+    scoped: ScopedStats,
+    scope: String,
+    timeline: Option<Vec<PhaseEvent>>,
+    latency_scale: f64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// New engine at time zero.
+    pub fn new() -> Self {
+        Self {
+            stats: SimStats::new(),
+            scoped: ScopedStats::new(),
+            scope: String::from("init"),
+            timeline: None,
+            latency_scale: 1.0,
+        }
+    }
+
+    /// Stretch every phase's latency by `scale` (≥ 1): used to model
+    /// sustained-throughput losses such as DRAM refresh
+    /// ([`crate::timing::TimingParams::refresh_overhead`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale < 1.0`.
+    pub fn set_latency_scale(&mut self, scale: f64) {
+        assert!(scale >= 1.0, "latency scale must be ≥ 1, got {scale}");
+        self.latency_scale = scale;
+    }
+
+    /// New engine that additionally records every phase on a timeline
+    /// (exportable as a Chrome trace; costs memory proportional to the
+    /// phase count).
+    pub fn with_timeline() -> Self {
+        Self { timeline: Some(Vec::new()), ..Self::new() }
+    }
+
+    /// The recorded timeline, if enabled.
+    pub fn timeline(&self) -> Option<&[PhaseEvent]> {
+        self.timeline.as_deref()
+    }
+
+    /// Render the recorded timeline as a Chrome-tracing ("chrome://tracing"
+    /// / Perfetto) JSON document. Returns `None` when the timeline was not
+    /// enabled. Durations are exported in microseconds on one track per
+    /// category.
+    pub fn chrome_trace(&self) -> Option<String> {
+        let events = self.timeline.as_ref()?;
+        let mut out = String::from("[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"energy_pj\":{:.1}}}}}",
+                e.scope,
+                e.category,
+                e.start_ns / 1000.0,
+                e.dur_ns / 1000.0,
+                e.category.index() + 1,
+                e.energy_pj,
+            ));
+        }
+        out.push(']');
+        Some(out)
+    }
+
+    /// Set the label under which subsequent phases are recorded (e.g. the
+    /// current Transformer layer kind).
+    pub fn set_scope(&mut self, scope: &str) {
+        if self.scope != scope {
+            self.scope.clear();
+            self.scope.push_str(scope);
+        }
+    }
+
+    /// Run one phase; returns its makespan in nanoseconds.
+    pub fn run(&mut self, phase: Phase) -> f64 {
+        let (category, mut latency, energy, bytes) = match phase {
+            Phase::Lump { category, latency_ns, energy_pj, bytes } => {
+                (category, latency_ns, energy_pj, bytes)
+            }
+            Phase::Scheduled { category, ref ops } => {
+                let latency = schedule_makespan(ops);
+                let energy = ops.iter().map(|o| o.energy_pj).sum();
+                let bytes = ops.iter().map(|o| o.bytes).sum();
+                (category, latency, energy, bytes)
+            }
+        };
+        debug_assert!(latency >= 0.0 && energy >= 0.0 && bytes >= 0.0);
+        latency *= self.latency_scale;
+        if let Some(timeline) = &mut self.timeline {
+            timeline.push(PhaseEvent {
+                scope: self.scope.clone(),
+                category,
+                start_ns: self.stats.latency_ns,
+                dur_ns: latency,
+                energy_pj: energy,
+            });
+        }
+        self.stats.record(category, latency, energy, bytes);
+        self.scoped.record(&self.scope, category, latency, energy, bytes);
+        latency
+    }
+
+    /// Global statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Per-scope statistics accumulated so far.
+    pub fn scoped(&self) -> &ScopedStats {
+        &self.scoped
+    }
+
+    /// Consume the engine, returning `(global, per-scope)` statistics.
+    pub fn into_stats(self) -> (SimStats, ScopedStats) {
+        (self.stats, self.scoped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(resources: &[u32], latency: f64) -> PhaseOp {
+        PhaseOp {
+            resources: resources.iter().map(|&r| ResourceId(r)).collect(),
+            latency_ns: latency,
+            energy_pj: 1.0,
+            bytes: 8.0,
+        }
+    }
+
+    #[test]
+    fn disjoint_ops_run_in_parallel() {
+        assert_eq!(schedule_makespan(&[op(&[0], 10.0), op(&[1], 7.0), op(&[2], 3.0)]), 10.0);
+    }
+
+    #[test]
+    fn shared_resource_serializes() {
+        assert_eq!(schedule_makespan(&[op(&[0, 5], 10.0), op(&[1, 5], 7.0)]), 17.0);
+    }
+
+    #[test]
+    fn figure9_ring_step_costs_3t_with_links_and_8t_without() {
+        use crate::geometry::{BankId, HbmGeometry};
+        use crate::resource::{BusParams, ResourceMap};
+        // 1 stack, 1 channel, 2 groups of 4 banks: the Figure 9 example.
+        let g = HbmGeometry {
+            stacks: 1,
+            channels_per_stack: 1,
+            groups_per_channel: 2,
+            banks_per_group: 4,
+            ..HbmGeometry::default()
+        };
+        // Uniform bandwidths so every hop costs the same time T.
+        let bus = BusParams {
+            channel_gbs: 16.0,
+            group_gbs: 16.0,
+            ring_link_gbs: 16.0,
+            stack_gbs: 16.0,
+            host_gbs: 16.0,
+        };
+        let t = 16.0; // 256 bytes at 16 GB/s
+        let hop = |m: &ResourceMap, s: u32, d: u32| {
+            let r = m.route(BankId(s), BankId(d));
+            let latency_ns = r.transfer_ns(256.0);
+            PhaseOp { resources: r.resources, latency_ns, energy_pj: 0.0, bytes: 256.0 }
+        };
+
+        // With ring links, issued in the paper's slot order:
+        // slot 1: 3→4 (buses), 0→1 and 6→7 (links);
+        // slot 2: 7→0 (buses), 2→3 and 4→5 (links);
+        // slot 3: 1→2 and 5→6 (links).
+        let m = ResourceMap::new(g, bus, true);
+        let ops = vec![
+            hop(&m, 3, 4), hop(&m, 0, 1), hop(&m, 6, 7),
+            hop(&m, 7, 0), hop(&m, 2, 3), hop(&m, 4, 5),
+            hop(&m, 1, 2), hop(&m, 5, 6),
+        ];
+        assert!((schedule_makespan(&ops) - 3.0 * t).abs() < 1e-9);
+
+        // Without ring links every hop is mediated by the single shared
+        // channel bus and controller, so the eight hops fully serialize —
+        // the 8 T the paper quotes for the original HBM datapath.
+        let m = ResourceMap::new(g, bus, false);
+        let ops: Vec<PhaseOp> = (0..8u32).map(|i| hop(&m, i, (i + 1) % 8)).collect();
+        assert!((schedule_makespan(&ops) - 8.0 * t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_records_phases_in_order() {
+        let mut e = Engine::with_timeline();
+        e.set_scope("fc");
+        e.run(Phase::lump(Category::Arithmetic, 5.0, 1.0, 0.0));
+        e.set_scope("attn");
+        e.run(Phase::lump(Category::DataMovement, 3.0, 2.0, 16.0));
+        let t = e.timeline().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].scope, "fc");
+        assert_eq!(t[0].start_ns, 0.0);
+        assert_eq!(t[1].start_ns, 5.0);
+        assert_eq!(t[1].dur_ns, 3.0);
+        let json = e.chrome_trace().unwrap();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"attn\""));
+        // Default engine records no timeline.
+        assert!(Engine::new().chrome_trace().is_none());
+    }
+
+    #[test]
+    fn engine_accumulates_by_scope() {
+        let mut e = Engine::new();
+        e.set_scope("a");
+        e.run(Phase::lump(Category::Arithmetic, 5.0, 1.0, 0.0));
+        e.set_scope("b");
+        e.run(Phase::Scheduled {
+            category: Category::DataMovement,
+            ops: vec![op(&[0], 3.0), op(&[0], 4.0)],
+        });
+        assert_eq!(e.stats().latency_ns, 12.0);
+        assert_eq!(e.scoped().get("a").unwrap().latency_ns, 5.0);
+        assert_eq!(e.scoped().get("b").unwrap().latency_ns, 7.0);
+        assert_eq!(e.scoped().get("b").unwrap().bytes_moved, 16.0);
+    }
+}

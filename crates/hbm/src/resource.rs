@@ -1,0 +1,361 @@
+//! Contended hardware resources of the TransPIM memory system and routing of
+//! data transfers across them.
+//!
+//! A transfer between two banks (or from the host to a bank) occupies every
+//! bus segment along its path for its duration; the engine serializes
+//! operations that share a segment. The segments follow Figure 2 / Figure 6
+//! of the paper:
+//!
+//! * per-bank ring-broadcast links (dedicated 256-bit neighbor links, only
+//!   present when the TransPIM communication hardware is enabled),
+//! * per-bank-group buses,
+//! * per-channel shared buses,
+//! * per-stack TSV/base-die links,
+//! * the shared host↔HBM interposer bus (256 GB/s).
+
+use crate::geometry::{BankId, HbmGeometry};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one contended resource, valid for the [`ResourceMap`] that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceId(pub u32);
+
+/// Bus/link bandwidth parameters in bytes per nanosecond (= GB/s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusParams {
+    /// Shared bus of one channel (8 channels × 32 GB/s = 256 GB/s per stack).
+    pub channel_gbs: f64,
+    /// Bus segment of one bank group.
+    pub group_gbs: f64,
+    /// Dedicated ring-broadcast link between neighboring banks
+    /// (256 bits at the 500 MHz ACU clock = 16 GB/s).
+    pub ring_link_gbs: f64,
+    /// Per-stack TSV / base-die switching capacity.
+    pub stack_gbs: f64,
+    /// Host↔HBM interposer bandwidth, shared by all stacks (Section V-A).
+    pub host_gbs: f64,
+}
+
+impl Default for BusParams {
+    fn default() -> Self {
+        Self {
+            channel_gbs: 32.0,
+            group_gbs: 32.0,
+            ring_link_gbs: 16.0,
+            stack_gbs: 256.0,
+            host_gbs: 256.0,
+        }
+    }
+}
+
+/// Route taken by a transfer, with the set of occupied resources and the
+/// bottleneck bandwidth along the path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Every resource occupied for the duration of the transfer.
+    pub resources: Vec<ResourceId>,
+    /// Bottleneck bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl Route {
+    /// Transfer time in nanoseconds for `bytes` over this route.
+    pub fn transfer_ns(&self, bytes: f64) -> f64 {
+        bytes / self.bandwidth_gbs
+    }
+}
+
+/// Maps hierarchy elements to flat [`ResourceId`]s and routes transfers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceMap {
+    geometry: HbmGeometry,
+    bus: BusParams,
+    /// Whether the dedicated ring-broadcast links exist (TransPIM-Buf). When
+    /// absent, neighbor hops fall back to the shared buses (TransPIM-NB and
+    /// the PIM-only / NBP baselines without the broadcast buffer).
+    ring_links: bool,
+}
+
+impl ResourceMap {
+    /// Build a resource map for `geometry` with the given bus parameters.
+    pub fn new(geometry: HbmGeometry, bus: BusParams, ring_links: bool) -> Self {
+        Self { geometry, bus, ring_links }
+    }
+
+    /// The geometry this map was built for.
+    pub fn geometry(&self) -> &HbmGeometry {
+        &self.geometry
+    }
+
+    /// Bus parameters.
+    pub fn bus(&self) -> &BusParams {
+        &self.bus
+    }
+
+    /// Whether dedicated ring links are present.
+    pub fn has_ring_links(&self) -> bool {
+        self.ring_links
+    }
+
+    /// Total number of distinct resources (banks + groups + channels +
+    /// stacks + host + per-group ring-link tokens).
+    pub fn len(&self) -> u32 {
+        let g = &self.geometry;
+        g.total_banks() + g.total_groups() + g.total_channels() + g.stacks + 1 + g.total_groups()
+    }
+
+    /// Always false; maps are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Resource of a bank (its row buffer / array port).
+    pub fn bank(&self, id: BankId) -> ResourceId {
+        debug_assert!(id.0 < self.geometry.total_banks());
+        ResourceId(id.0)
+    }
+
+    /// Resource of a bank-group bus (global group index).
+    pub fn group_bus(&self, group: u32) -> ResourceId {
+        debug_assert!(group < self.geometry.total_groups());
+        ResourceId(self.geometry.total_banks() + group)
+    }
+
+    /// Resource of a channel bus (global channel index).
+    pub fn channel_bus(&self, channel: u32) -> ResourceId {
+        debug_assert!(channel < self.geometry.total_channels());
+        ResourceId(self.geometry.total_banks() + self.geometry.total_groups() + channel)
+    }
+
+    /// Resource of a stack's TSV/base-die link.
+    pub fn stack_link(&self, stack: u32) -> ResourceId {
+        debug_assert!(stack < self.geometry.stacks);
+        ResourceId(
+            self.geometry.total_banks()
+                + self.geometry.total_groups()
+                + self.geometry.total_channels()
+                + stack,
+        )
+    }
+
+    /// Resource of the shared host bus.
+    pub fn host_bus(&self) -> ResourceId {
+        ResourceId(
+            self.geometry.total_banks()
+                + self.geometry.total_groups()
+                + self.geometry.total_channels()
+                + self.geometry.stacks,
+        )
+    }
+
+    /// Ring-link token of a bank group: at most one intra-group ring hop can
+    /// be in flight per group at a time (Figure 9's schedule uses exactly
+    /// this constraint).
+    pub fn ring_link(&self, group: u32) -> ResourceId {
+        debug_assert!(group < self.geometry.total_groups());
+        ResourceId(
+            self.geometry.total_banks()
+                + self.geometry.total_groups()
+                + self.geometry.total_channels()
+                + self.geometry.stacks
+                + 1
+                + group,
+        )
+    }
+
+    /// Route a bank-to-bank transfer. Both banks are always occupied; the
+    /// intermediate segments depend on how far apart the banks are in the
+    /// hierarchy and on whether ring links exist.
+    pub fn route(&self, src: BankId, dst: BankId) -> Route {
+        let g = &self.geometry;
+        let (sc, dc) = (g.coord(src), g.coord(dst));
+        let mut resources = vec![self.bank(src), self.bank(dst)];
+        let mut bw = f64::INFINITY;
+
+        let src_group = g.group_of(src);
+        let dst_group = g.group_of(dst);
+        let src_channel = g.channel_of(src);
+        let dst_channel = g.channel_of(dst);
+
+        let neighbors = src.0.abs_diff(dst.0) == 1;
+        if src_group == dst_group && self.ring_links && neighbors {
+            // Dedicated neighbor link inside a bank group.
+            resources.push(self.ring_link(src_group));
+            bw = bw.min(self.bus.ring_link_gbs);
+            return Route { resources, bandwidth_gbs: bw };
+        }
+
+        if src_group == dst_group {
+            resources.push(self.group_bus(src_group));
+            bw = bw.min(self.bus.group_gbs);
+            if !self.ring_links {
+                // Original HBM datapath: every transfer is mediated by the
+                // single shared channel bus and controller.
+                resources.push(self.channel_bus(src_channel));
+                bw = bw.min(self.bus.channel_gbs);
+            }
+            return Route { resources, bandwidth_gbs: bw };
+        }
+
+        // Different groups: occupy both group buses.
+        resources.push(self.group_bus(src_group));
+        resources.push(self.group_bus(dst_group));
+        bw = bw.min(self.bus.group_gbs);
+
+        if src_channel == dst_channel {
+            // With the TransPIM broadcast units, the bank-group bus segments
+            // are decoupled from the global channel bus, so a cross-group
+            // hop only occupies the two adjacent group buses (Figure 9 uses
+            // "the bank group bus (both BankGroup A and BankGroup B)" for
+            // the 3→4 hop) and disjoint group pairs transfer in parallel.
+            // Without them, every transfer rides the single shared channel
+            // bus and controller.
+            if !self.ring_links {
+                resources.push(self.channel_bus(src_channel));
+                bw = bw.min(self.bus.channel_gbs);
+            }
+            return Route { resources, bandwidth_gbs: bw };
+        }
+
+        resources.push(self.channel_bus(src_channel));
+        resources.push(self.channel_bus(dst_channel));
+        bw = bw.min(self.bus.channel_gbs);
+
+        if sc.stack == dc.stack {
+            resources.push(self.stack_link(sc.stack));
+            bw = bw.min(self.bus.stack_gbs);
+            return Route { resources, bandwidth_gbs: bw };
+        }
+
+        resources.push(self.stack_link(sc.stack));
+        resources.push(self.stack_link(dc.stack));
+        resources.push(self.host_bus());
+        bw = bw.min(self.bus.stack_gbs).min(self.bus.host_gbs);
+        Route { resources, bandwidth_gbs: bw }
+    }
+
+    /// Route a host→bank load (weights, inputs). Occupies the host bus, the
+    /// stack link and the channel bus of the destination.
+    pub fn route_from_host(&self, dst: BankId) -> Route {
+        let g = &self.geometry;
+        let c = g.coord(dst);
+        let resources = vec![
+            self.host_bus(),
+            self.stack_link(c.stack),
+            self.channel_bus(g.channel_of(dst)),
+            self.group_bus(g.group_of(dst)),
+            self.bank(dst),
+        ];
+        let bw = self
+            .bus
+            .host_gbs
+            .min(self.bus.stack_gbs)
+            .min(self.bus.channel_gbs)
+            .min(self.bus.group_gbs);
+        Route { resources, bandwidth_gbs: bw }
+    }
+
+    /// Route a host→channel broadcast write: the data crosses the host bus
+    /// and stack link once and is written to all banks of the channel
+    /// simultaneously (the PIM memory controller drives the shared channel
+    /// bus with all target rows open). Bank resources are intentionally not
+    /// enumerated; the caller models per-bank write energy separately.
+    pub fn route_host_broadcast(&self, stack: u32, channel: u32) -> Route {
+        let resources = vec![
+            self.host_bus(),
+            self.stack_link(stack),
+            self.channel_bus(stack * self.geometry.channels_per_stack + channel),
+        ];
+        let bw = self.bus.host_gbs.min(self.bus.stack_gbs).min(self.bus.channel_gbs);
+        Route { resources, bandwidth_gbs: bw }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(ring: bool) -> ResourceMap {
+        ResourceMap::new(HbmGeometry::default(), BusParams::default(), ring)
+    }
+
+    #[test]
+    fn resource_ids_are_disjoint() {
+        let m = map(true);
+        let g = m.geometry;
+        let mut seen = std::collections::HashSet::new();
+        for b in g.banks() {
+            assert!(seen.insert(m.bank(b)));
+        }
+        for gr in 0..g.total_groups() {
+            assert!(seen.insert(m.group_bus(gr)));
+            assert!(seen.insert(m.ring_link(gr)));
+        }
+        for c in 0..g.total_channels() {
+            assert!(seen.insert(m.channel_bus(c)));
+        }
+        for s in 0..g.stacks {
+            assert!(seen.insert(m.stack_link(s)));
+        }
+        assert!(seen.insert(m.host_bus()));
+        assert_eq!(seen.len() as u32, m.len());
+    }
+
+    #[test]
+    fn neighbor_hop_uses_ring_link_when_present() {
+        let m = map(true);
+        let r = m.route(BankId(0), BankId(1));
+        assert!(r.resources.contains(&m.ring_link(0)));
+        assert_eq!(r.bandwidth_gbs, 16.0);
+
+        let m = map(false);
+        let r = m.route(BankId(0), BankId(1));
+        assert!(r.resources.contains(&m.group_bus(0)));
+        assert_eq!(r.bandwidth_gbs, 32.0);
+    }
+
+    #[test]
+    fn cross_group_hop_occupies_both_group_buses() {
+        // With broadcast units the group-bus segments are decoupled from
+        // the channel bus; without them the shared channel bus serializes.
+        let m = map(true);
+        let r = m.route(BankId(3), BankId(4)); // group 0 -> group 1, channel 0
+        assert!(r.resources.contains(&m.group_bus(0)));
+        assert!(r.resources.contains(&m.group_bus(1)));
+        assert!(!r.resources.contains(&m.channel_bus(0)));
+
+        let m = map(false);
+        let r = m.route(BankId(3), BankId(4));
+        assert!(r.resources.contains(&m.channel_bus(0)));
+        let r = m.route(BankId(0), BankId(2)); // same group, no links
+        assert!(r.resources.contains(&m.channel_bus(0)));
+    }
+
+    #[test]
+    fn cross_stack_hop_goes_through_host() {
+        let m = map(true);
+        let g = *m.geometry();
+        let last_of_stack0 = BankId(g.banks_per_stack() - 1);
+        let first_of_stack1 = BankId(g.banks_per_stack());
+        let r = m.route(last_of_stack0, first_of_stack1);
+        assert!(r.resources.contains(&m.host_bus()));
+        assert!(r.resources.contains(&m.stack_link(0)));
+        assert!(r.resources.contains(&m.stack_link(1)));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let m = map(true);
+        let r = m.route(BankId(0), BankId(1));
+        assert!((r.transfer_ns(1600.0) - 100.0).abs() < 1e-9); // 1600 B at 16 GB/s
+    }
+
+    #[test]
+    fn host_broadcast_route_is_channel_wide() {
+        let m = map(true);
+        let r = m.route_host_broadcast(0, 3);
+        assert_eq!(r.resources.len(), 3);
+        assert_eq!(r.bandwidth_gbs, 32.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Capacity bookkeeping for the column-wise (bit-serial) data layout.
+//!
+//! A value of `b` bits occupies `b` cells of one bit-column; a subarray of
+//! 512×512 cells therefore stores `512 × 512 / b` values. The Figure 8(a)
+//! vector-multiplication layout additionally keeps three replicated copies
+//! of one operand to parallelize the point-wise products.
+
+use serde::{Deserialize, Serialize};
+use transpim_hbm::geometry::HbmGeometry;
+
+/// Bit-serial layout calculator for one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSerialLayout {
+    geometry: HbmGeometry,
+}
+
+impl BitSerialLayout {
+    /// Build a layout calculator.
+    pub fn new(geometry: HbmGeometry) -> Self {
+        Self { geometry }
+    }
+
+    /// Values of width `bits` that fit in one subarray.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0.
+    pub fn values_per_subarray(&self, bits: u32) -> u64 {
+        assert!(bits > 0, "bits must be positive");
+        let rows_per_subarray =
+            u64::from(self.geometry.rows_per_bank) / u64::from(self.geometry.subarrays_per_bank);
+        let value_rows = rows_per_subarray / u64::from(bits);
+        value_rows * u64::from(self.geometry.subarray_cols)
+    }
+
+    /// Values of width `bits` that fit in one bank.
+    pub fn values_per_bank(&self, bits: u32) -> u64 {
+        self.values_per_subarray(bits) * u64::from(self.geometry.subarrays_per_bank)
+    }
+
+    /// Bytes occupied by `values` of width `bits`, including `replicas`
+    /// copies kept for row-parallel multiplication (Figure 8(a) keeps 3).
+    pub fn footprint_bytes(&self, values: u64, bits: u32, replicas: u32) -> u64 {
+        values * u64::from(bits) * u64::from(replicas.max(1)) / 8
+    }
+
+    /// Whether `values` of width `bits` (with `replicas` copies) fit in one
+    /// bank.
+    pub fn fits_in_bank(&self, values: u64, bits: u32, replicas: u32) -> bool {
+        self.footprint_bytes(values, bits, replicas) <= self.geometry.bank_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subarray_capacity_8bit() {
+        let l = BitSerialLayout::new(HbmGeometry::default());
+        // 512 rows / 8 bits = 64 value-rows × 512 columns.
+        assert_eq!(l.values_per_subarray(8), 64 * 512);
+        assert_eq!(l.values_per_bank(8), 64 * 512 * 64);
+    }
+
+    #[test]
+    fn footprint_includes_replicas() {
+        let l = BitSerialLayout::new(HbmGeometry::default());
+        assert_eq!(l.footprint_bytes(1000, 8, 3), 3000);
+        assert_eq!(l.footprint_bytes(1000, 8, 0), 1000); // clamps to 1 copy
+    }
+
+    #[test]
+    fn bank_fits_reasonable_working_set() {
+        let l = BitSerialLayout::new(HbmGeometry::default());
+        // A 1024×1024 int8 weight matrix with 3 replicas: 3 MiB < 32 MiB.
+        assert!(l.fits_in_bank(1024 * 1024, 8, 3));
+        // But 16 such matrices with 3 replicas do not fit alongside…
+        assert!(!l.fits_in_bank(16 * 1024 * 1024 * 8, 8, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be positive")]
+    fn zero_bits_rejected() {
+        BitSerialLayout::new(HbmGeometry::default()).values_per_subarray(0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Symmetric fixed-point quantization.
+//!
+//! The paper runs FC and FFN layers at 8-bit precision (citing GOBO's
+//! finding that this suffices for Transformers) and Softmax at 16 bits to
+//! cover the exponential's range. This module provides symmetric per-tensor
+//! quantization with i32 accumulation, which is what the bit-serial PIM
+//! layout stores (sign handled as two's complement in the bit-planes).
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A quantized matrix: int8 values plus a per-tensor scale such that
+/// `real ≈ value × scale`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    /// Dequantization scale.
+    pub scale: f32,
+}
+
+impl QuantMatrix {
+    /// Quantize `m` symmetrically to int8 (scale = max|x| / 127).
+    pub fn quantize(m: &Matrix) -> Self {
+        let max = m.max_abs();
+        let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+        let data = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Self { rows: m.rows(), cols: m.cols(), data, scale }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw quantized value at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, r: usize, c: usize) -> i8 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Dequantize back to f32.
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| f32::from(v) * self.scale).collect(),
+        )
+    }
+
+    /// Integer matmul with i32 accumulation, dequantized with the product
+    /// of the two scales — the arithmetic the int8 PIM path performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_dequant(&self, other: &QuantMatrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "quantized matmul shape mismatch");
+        let s = self.scale * other.scale;
+        Matrix::from_fn(self.rows, other.cols, |i, j| {
+            let mut acc: i32 = 0;
+            for k in 0..self.cols {
+                acc += i32::from(self.data[i * self.cols + k])
+                    * i32::from(other.data[k * other.cols + j]);
+            }
+            acc as f32 * s
+        })
+    }
+}
+
+/// Quantize → dequantize, the error the int8 path introduces.
+pub fn fake_quant(m: &Matrix) -> Matrix {
+    QuantMatrix::quantize(m).dequantize()
+}
+
+/// Quantize a value to a signed 16-bit fixed-point grid with `frac_bits`
+/// fractional bits, saturating — the Softmax datapath's number format.
+pub fn to_q16(x: f32, frac_bits: u32) -> i16 {
+    let scaled = (x * (1u32 << frac_bits) as f32).round();
+    scaled.clamp(f32::from(i16::MIN), f32::from(i16::MAX)) as i16
+}
+
+/// Inverse of [`to_q16`].
+pub fn from_q16(v: i16, frac_bits: u32) -> f32 {
+    f32::from(v) / (1u32 << frac_bits) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r as f32 - 1.5) * (c as f32 + 0.25));
+        let q = QuantMatrix::quantize(&m);
+        let back = q.dequantize();
+        assert!(m.max_abs_diff(&back) <= q.scale * 0.5 + 1e-6);
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_cleanly() {
+        let q = QuantMatrix::quantize(&Matrix::zeros(3, 3));
+        assert_eq!(q.dequantize(), Matrix::zeros(3, 3));
+        assert_eq!(q.scale, 1.0);
+    }
+
+    #[test]
+    fn quantized_matmul_tracks_float_matmul() {
+        let a = Matrix::from_fn(6, 8, |r, c| ((r * 8 + c) as f32 * 0.13).sin());
+        let b = Matrix::from_fn(8, 5, |r, c| ((r * 5 + c) as f32 * 0.29).cos());
+        let exact = a.matmul(&b);
+        let approx = QuantMatrix::quantize(&a).matmul_dequant(&QuantMatrix::quantize(&b));
+        // int8 matmul over K=8 keeps a couple of percent accuracy.
+        assert!(exact.max_abs_diff(&approx) < 0.05 * exact.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn q16_roundtrip() {
+        for x in [-3.5f32, 0.0, 0.001, 7.999] {
+            let v = to_q16(x, 12);
+            assert!((from_q16(v, 12) - x).abs() <= 0.5 / 4096.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn q16_saturates() {
+        assert_eq!(to_q16(1e9, 12), i16::MAX);
+        assert_eq!(to_q16(-1e9, 12), i16::MIN);
+    }
+
+    proptest! {
+        #[test]
+        fn quant_values_in_range(vals in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+            let n = vals.len();
+            let m = Matrix::from_vec(1, n, vals);
+            let q = QuantMatrix::quantize(&m);
+            for c in 0..n {
+                prop_assert!(q.get(0, c) >= -127); // i8 ⇒ upper bound is the type
+            }
+        }
+
+        #[test]
+        fn fake_quant_idempotent(vals in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+            let m = Matrix::from_vec(1, vals.len(), vals);
+            let once = fake_quant(&m);
+            let twice = fake_quant(&once);
+            prop_assert!(once.max_abs_diff(&twice) <= once.max_abs() * 0.005 + 1e-6);
+        }
+    }
+}

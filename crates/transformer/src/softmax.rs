@@ -1,0 +1,174 @@
+//! Softmax: the exact reference and the paper's hardware-shaped variant.
+//!
+//! Section IV-A2 rewrites Softmax as
+//!
+//! ```text
+//! softmax(S)_ij = (1 / Σⱼ exp(S_ij)) · exp(S_ij)
+//! ```
+//!
+//! so that the per-element work is a Taylor-series exponent (5th order,
+//! computed by PIM multiply/add), the row sum is an ACU adder-tree
+//! reduction, and the single division per row becomes one reciprocal in the
+//! ACU divider, replicated across the row by the data buffer. The
+//! [`SoftmaxKind::HardwareTaylor`] path mirrors that op sequence
+//! numerically.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Which softmax the functional model computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SoftmaxKind {
+    /// Numerically-stable exact softmax (max-subtracted `exp`).
+    Exact,
+    /// The TransPIM datapath: plain 5th-order Taylor exponent and a
+    /// reciprocal-times-exponent normalization (no max subtraction — the
+    /// paper widens to 16 bits instead).
+    HardwareTaylor,
+}
+
+/// Taylor-series approximation of `exp(x)` of the given `order`, evaluated
+/// with Horner's rule — the exact op sequence the PIM arrays execute
+/// (`order` multiplies and adds, Figure 8(b) step 1).
+///
+/// # Example
+///
+/// ```
+/// use transpim_transformer::softmax::taylor_exp;
+/// assert!((taylor_exp(0.0, 5) - 1.0).abs() < 1e-6);
+/// assert!((taylor_exp(1.0, 5) - 1.0f32.exp()).abs() < 0.01);
+/// ```
+pub fn taylor_exp(x: f32, order: u32) -> f32 {
+    // Horner: 1 + x(1 + x/2(1 + x/3(1 + x/4(1 + x/5)))).
+    let mut acc = 1.0f32;
+    for k in (1..=order).rev() {
+        acc = 1.0 + x / k as f32 * acc;
+    }
+    acc
+}
+
+/// Row-wise exact softmax.
+pub fn softmax_exact(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        let row = m.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (o, e) in out.row_mut(r).iter_mut().zip(exps) {
+            *o = e / sum;
+        }
+    }
+    out
+}
+
+/// Row-wise hardware softmax: Taylor exponent, adder-tree row sum,
+/// reciprocal multiply. `order` is the Taylor order (the paper uses 5).
+///
+/// Negative Taylor outputs (possible for large-magnitude negative inputs,
+/// where the odd-order polynomial dips below zero) are clamped at zero,
+/// as the fixed-point datapath saturates.
+pub fn softmax_taylor(m: &Matrix, order: u32) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        let exps: Vec<f32> = m.row(r).iter().map(|&x| taylor_exp(x, order).max(0.0)).collect();
+        let sum: f32 = exps.iter().sum();
+        let recip = if sum > 0.0 { 1.0 / sum } else { 0.0 };
+        for (o, e) in out.row_mut(r).iter_mut().zip(exps) {
+            *o = e * recip;
+        }
+    }
+    out
+}
+
+/// Dispatch on [`SoftmaxKind`].
+pub fn softmax(m: &Matrix, kind: SoftmaxKind) -> Matrix {
+    match kind {
+        SoftmaxKind::Exact => softmax_exact(m),
+        SoftmaxKind::HardwareTaylor => softmax_taylor(m, 5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn taylor_matches_exp_near_zero() {
+        // 5th-order Taylor truncation error grows with |x|; at ±1.5 it is
+        // a few percent, which the paper accepts for attention scores.
+        for x in [-1.5f32, -0.5, 0.0, 0.5, 1.5] {
+            let err = (taylor_exp(x, 5) - x.exp()).abs() / x.exp();
+            assert!(err < 0.08, "x={x}: rel err {err}");
+        }
+    }
+
+    #[test]
+    fn taylor_order_improves_accuracy() {
+        let x = 2.0f32;
+        let e3 = (taylor_exp(x, 3) - x.exp()).abs();
+        let e5 = (taylor_exp(x, 5) - x.exp()).abs();
+        let e8 = (taylor_exp(x, 8) - x.exp()).abs();
+        assert!(e3 > e5 && e5 > e8);
+    }
+
+    #[test]
+    fn exact_softmax_rows_sum_to_one() {
+        let m = Matrix::from_fn(3, 7, |r, c| (r as f32) - (c as f32) * 0.3);
+        let s = softmax_exact(&m);
+        for r in 0..3 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn taylor_softmax_rows_sum_to_one() {
+        let m = Matrix::from_fn(3, 7, |r, c| ((r + c) as f32 * 0.17).sin());
+        let s = softmax_taylor(&m, 5);
+        for r in 0..3 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn taylor_softmax_tracks_exact_on_small_scores() {
+        // Attention scores after the 1/√D scaling are O(1); the paper's
+        // 5th-order Taylor stays close to exact softmax there.
+        let m = Matrix::from_fn(4, 8, |r, c| ((r * 8 + c) as f32 * 0.37).sin() * 1.5);
+        let a = softmax_exact(&m);
+        let b = softmax_taylor(&m, 5);
+        assert!(a.max_abs_diff(&b) < 0.02, "diff {}", a.max_abs_diff(&b));
+    }
+
+    #[test]
+    fn exact_softmax_is_shift_invariant() {
+        let m = Matrix::from_fn(2, 5, |_, c| c as f32);
+        let shifted = m.map(|x| x + 100.0);
+        assert!(softmax_exact(&m).max_abs_diff(&softmax_exact(&shifted)) < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_all_negative_rows_do_not_nan() {
+        let m = Matrix::from_fn(1, 4, |_, _| -30.0);
+        let s = softmax_taylor(&m, 5);
+        assert!(s.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_outputs_are_probabilities(
+            vals in proptest::collection::vec(-2.0f32..2.0, 2..32)
+        ) {
+            let m = Matrix::from_vec(1, vals.len(), vals);
+            for kind in [SoftmaxKind::Exact, SoftmaxKind::HardwareTaylor] {
+                let s = softmax(&m, kind);
+                let sum: f32 = s.row(0).iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-3);
+                prop_assert!(s.as_slice().iter().all(|&p| (-1e-6..=1.0 + 1e-5).contains(&p)));
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The paper's evaluation workloads (Section V-A3).
+//!
+//! | workload | model | task | sequence | decode |
+//! |---|---|---|---|---|
+//! | IMDB | RoBERTa | text classification | 128 | — |
+//! | TriviaQA | RoBERTa | question answering | 512 | — |
+//! | PubMed | Pegasus | summarization | 4096 | 256 |
+//! | Arxiv | Pegasus | summarization | 6144 | 192 |
+//! | LM | GPT-2-medium | language modeling | 1024 ctx | 128 |
+//!
+//! Sequence lengths follow the paper's Figure 14 axis (IMDB = 128,
+//! PubMed = 4096) and the datasets' standard truncations. Token *values*
+//! are synthetic (see DESIGN.md substitutions): simulated cost depends only
+//! on lengths and shapes.
+
+use crate::model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// One evaluation workload: a model plus sequence/decode lengths and the
+/// batch size used to fill the memory-based accelerator (the paper measures
+/// per-batch time because short workloads under-utilize the banks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Workload name (dataset).
+    pub name: String,
+    /// Model configuration.
+    pub model: ModelConfig,
+    /// Encoder-side (or decoder-context) sequence length `L`.
+    pub seq_len: usize,
+    /// Decoder steps (0 for encoder-only tasks).
+    pub decode_len: usize,
+    /// Sequences per batch.
+    pub batch: usize,
+}
+
+impl Workload {
+    /// IMDB text classification on RoBERTa (L = 128).
+    pub fn imdb() -> Self {
+        Self {
+            name: "IMDB".into(),
+            model: ModelConfig::roberta_base(),
+            seq_len: 128,
+            decode_len: 0,
+            batch: 16,
+        }
+    }
+
+    /// TriviaQA question answering on RoBERTa (L = 512).
+    pub fn triviaqa() -> Self {
+        Self {
+            name: "TriviaQA".into(),
+            model: ModelConfig::roberta_base(),
+            seq_len: 512,
+            decode_len: 0,
+            batch: 4,
+        }
+    }
+
+    /// PubMed summarization on Pegasus (L = 4096, 256 generated tokens).
+    pub fn pubmed() -> Self {
+        Self {
+            name: "PubMed".into(),
+            model: ModelConfig::pegasus_large(),
+            seq_len: 4096,
+            decode_len: 256,
+            batch: 1,
+        }
+    }
+
+    /// Arxiv summarization on Pegasus: arXiv documents are longer than
+    /// PubMed abstracts' sources (L = 6144) with shorter summaries.
+    pub fn arxiv() -> Self {
+        Self {
+            name: "Arxiv".into(),
+            model: ModelConfig::pegasus_large(),
+            seq_len: 6144,
+            decode_len: 192,
+            batch: 1,
+        }
+    }
+
+    /// Language modeling on GPT-2-medium: 1024-token context, generating
+    /// 128 tokens one at a time (the SpAtten-comparable generative-stage
+    /// benchmark the paper's Section V-B discusses).
+    pub fn lm() -> Self {
+        Self {
+            name: "LM".into(),
+            model: ModelConfig::gpt2_medium(),
+            seq_len: 1024,
+            decode_len: 128,
+            batch: 1,
+        }
+    }
+
+    /// The five paper workloads in Figure 10 order.
+    pub fn paper_suite() -> Vec<Workload> {
+        vec![Self::imdb(), Self::triviaqa(), Self::pubmed(), Self::arxiv(), Self::lm()]
+    }
+
+    /// A synthetic Pegasus summarization workload with an arbitrary
+    /// sequence length (the Figure 11(b) 32 K point and the Figure 15
+    /// scalability sweep).
+    pub fn synthetic_pegasus(seq_len: usize) -> Self {
+        Self {
+            name: format!("synthetic-{seq_len}"),
+            model: ModelConfig::pegasus_large(),
+            seq_len,
+            decode_len: 256,
+            batch: 1,
+        }
+    }
+
+    /// A synthetic RoBERTa encoder-only workload (Figure 14 power sweep).
+    pub fn synthetic_roberta(seq_len: usize) -> Self {
+        Self {
+            name: format!("roberta-{seq_len}"),
+            model: ModelConfig::roberta_base(),
+            seq_len,
+            decode_len: 0,
+            batch: 1,
+        }
+    }
+
+    /// Total tokens per batch (`batch × L`).
+    pub fn batch_tokens(&self) -> u64 {
+        (self.batch * self.seq_len) as u64
+    }
+
+    /// Total MACs of one batch: encoder stack per sequence plus the decode
+    /// loop (self-attention grows with the generated prefix; cross-attention
+    /// spans the encoder context).
+    pub fn total_macs(&self) -> u64 {
+        let m = &self.model;
+        let enc =
+            m.encoder_layers as u64 * m.encoder_layer_macs(self.seq_len as u64);
+        let ctx = if m.cross_attention { self.seq_len as u64 } else { 0 };
+        let mut dec = 0u64;
+        for t in 0..self.decode_len as u64 {
+            // Decoder-only models attend over context + generated prefix.
+            let prefix =
+                if m.cross_attention { t + 1 } else { self.seq_len as u64 + t + 1 };
+            dec += m.decoder_layers as u64 * m.decoder_step_macs(prefix, ctx);
+        }
+        self.batch as u64 * (enc + dec)
+    }
+
+    /// Total arithmetic operations (2 ops per MAC) — the GOP numerator in
+    /// the paper's throughput and GOP/J metrics.
+    pub fn total_ops(&self) -> u64 {
+        2 * self.total_macs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_has_expected_lengths() {
+        let suite = Workload::paper_suite();
+        let lens: Vec<usize> = suite.iter().map(|w| w.seq_len).collect();
+        assert_eq!(lens, vec![128, 512, 4096, 6144, 1024]);
+        assert_eq!(suite[2].decode_len, 256);
+        assert_eq!(suite[4].model.name, "gpt2-medium");
+    }
+
+    #[test]
+    fn long_sequences_dominate_mac_counts() {
+        let short = Workload::imdb().total_macs() / Workload::imdb().batch as u64;
+        let long = Workload::pubmed().total_macs();
+        assert!(long > 50 * short);
+    }
+
+    #[test]
+    fn decode_adds_work() {
+        let mut w = Workload::pubmed();
+        let with = w.total_macs();
+        w.decode_len = 0;
+        let without = w.total_macs();
+        assert!(with > without);
+    }
+
+    #[test]
+    fn batch_scales_macs_linearly() {
+        let mut w = Workload::imdb();
+        let one = { w.batch = 1; w.total_macs() };
+        let eight = { w.batch = 8; w.total_macs() };
+        assert_eq!(eight, 8 * one);
+    }
+
+    #[test]
+    fn gops_are_plausible() {
+        // PubMed on Pegasus-large at L=4096 plus 256 decode steps is a
+        // multi-TOP workload (attention is quadratic in L).
+        let ops = Workload::pubmed().total_ops();
+        assert!(ops > 1000e9 as u64 && ops < 6000e9 as u64, "{ops}");
+    }
+}

@@ -1,0 +1,102 @@
+//! One-call simulation of a workload × dataflow × architecture combination.
+
+use crate::arch::ArchConfig;
+use crate::exec::Executor;
+use crate::report::{DataflowKind, SimReport};
+use transpim_dataflow::{layer_flow, token_flow};
+use transpim_transformer::workload::Workload;
+
+/// A configured memory-based accelerator.
+///
+/// # Example
+///
+/// ```
+/// use transpim::{Accelerator, ArchConfig, ArchKind, DataflowKind};
+/// use transpim_transformer::workload::Workload;
+///
+/// let mut w = Workload::imdb();
+/// w.model.encoder_layers = 1; // keep the doctest fast
+/// let acc = Accelerator::new(ArchConfig::new(ArchKind::TransPim));
+/// let token = acc.simulate(&w, DataflowKind::Token);
+/// let layer = acc.simulate(&w, DataflowKind::Layer);
+/// assert!(token.latency_ms() < layer.latency_ms());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    arch: ArchConfig,
+}
+
+impl Accelerator {
+    /// Build an accelerator around an architecture configuration.
+    pub fn new(arch: ArchConfig) -> Self {
+        Self { arch }
+    }
+
+    /// The architecture.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Compile `workload` under `dataflow` and simulate it.
+    pub fn simulate(&self, workload: &Workload, dataflow: DataflowKind) -> SimReport {
+        let (report, _) = self.simulate_inner(workload, dataflow, false);
+        report
+    }
+
+    /// Like [`Accelerator::simulate`], but additionally returns a
+    /// Chrome-tracing JSON document of the phase timeline.
+    pub fn simulate_traced(&self, workload: &Workload, dataflow: DataflowKind) -> (SimReport, String) {
+        let (report, trace) = self.simulate_inner(workload, dataflow, true);
+        (report, trace.unwrap_or_default())
+    }
+
+    fn simulate_inner(
+        &self,
+        workload: &Workload,
+        dataflow: DataflowKind,
+        traced: bool,
+    ) -> (SimReport, Option<String>) {
+        let banks = self.arch.hbm.geometry.total_banks();
+        let program = match dataflow {
+            DataflowKind::Token => token_flow::compile(workload, banks),
+            DataflowKind::Layer => layer_flow::compile(workload, banks),
+        };
+        let mut exec = Executor::new(self.arch.clone());
+        let (stats, scoped, trace) = if traced {
+            let (stats, scoped, trace) = exec.run_traced(&program);
+            (stats, scoped, Some(trace))
+        } else {
+            let (stats, scoped) = exec.run(&program);
+            (stats, scoped, None)
+        };
+        let report = SimReport {
+            system: self.arch.system_label(dataflow.label()),
+            arch: self.arch.kind,
+            dataflow,
+            workload: workload.name.clone(),
+            stats,
+            scoped,
+            total_ops: workload.total_ops(),
+            batch: workload.batch,
+        };
+        (report, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchKind;
+
+    #[test]
+    fn simulate_produces_labeled_report() {
+        let mut w = Workload::imdb();
+        w.model.encoder_layers = 1;
+        let acc = Accelerator::new(ArchConfig::new(ArchKind::TransPimNb));
+        let r = acc.simulate(&w, DataflowKind::Layer);
+        assert_eq!(r.system, "Layer-TransPIM-NB");
+        assert_eq!(r.workload, "IMDB");
+        assert!(r.latency_ms() > 0.0);
+        assert!(r.scoped.get("enc.fc").is_some());
+    }
+}

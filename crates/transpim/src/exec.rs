@@ -1,0 +1,722 @@
+//! The execution engine: prices each dataflow [`Step`] on a concrete
+//! architecture and drives the phase engine in `transpim-hbm`.
+//!
+//! Pricing rules per architecture follow Section IV and the baselines of
+//! Section V-A2:
+//!
+//! * point-wise arithmetic → bit-serial in-situ PIM batches
+//!   (`transpim-pim`) on PIM architectures, or the per-channel near-bank
+//!   vector unit on NBP;
+//! * reductions → ACU adder trees when present, the in-array shift-add
+//!   tree on OriginalPIM, the near-bank tree on NBP;
+//! * Softmax reciprocals → the ACU divider, iterative PIM Newton–Raphson,
+//!   or near-bank multiplies;
+//! * communication → the ring/broadcast scheduler of `transpim-acu` on
+//!   architecture-specific resource maps (ring links only when the
+//!   broadcast hardware exists).
+//!
+//! Ring steps, one-to-all broadcasts and reduction trees are memoized by
+//! their structural key, since the decoder repeats them thousands of times.
+
+use crate::arch::{ArchConfig, ArchKind};
+use crate::calib;
+use std::collections::HashMap;
+use transpim_acu::adder_tree::AcuReduceModel;
+use transpim_acu::data_buffer::DataBufferModel;
+use transpim_acu::divider::DividerModel;
+use transpim_acu::ring::{
+    self, one_to_all_broadcast, pairwise_reduce_hops, schedule_hops, Hop, ScheduleResult,
+    TransferCostModel,
+};
+use transpim_dataflow::ir::{BankRange, Program, Step};
+use transpim_hbm::engine::{Engine, Phase};
+use transpim_hbm::geometry::BankId;
+use transpim_hbm::resource::ResourceMap;
+use transpim_hbm::stats::{Category, ScopedStats, SimStats};
+use transpim_pim::cost::{PimCostModel, PimOp};
+use transpim_pim::rowclone::RowCloneModel;
+
+/// Prices dataflow programs on one architecture.
+#[derive(Debug)]
+pub struct Executor {
+    arch: ArchConfig,
+    map: ResourceMap,
+    pim: PimCostModel,
+    acu: AcuReduceModel,
+    divider: DividerModel,
+    buffer: Option<DataBufferModel>,
+    rowclone: RowCloneModel,
+    xfer: TransferCostModel,
+    /// Row-cycle-bound per-bank streaming rate (GB/s): the pace at which a
+    /// bank can sustainably read or write rows through its row buffer.
+    /// Broadcast writes are paced by this floor even on the buffered
+    /// datapath — every receiving bank's array write is the bottleneck.
+    stream_floor_gbs: f64,
+    ring_cache: HashMap<(u32, u32, u64), ScheduleResult>,
+    broadcast_cache: HashMap<(u32, u32, u64), ScheduleResult>,
+    tree_cache: HashMap<(u32, u32, u64), ScheduleResult>,
+}
+
+impl Executor {
+    /// Build an executor for `arch`.
+    pub fn new(arch: ArchConfig) -> Self {
+        let mut arch = arch;
+        // Bank-to-bank streaming rates differ with the communication
+        // hardware. Without the TransPIM buffers, every transfer is
+        // row-cycle bound: open the source row, stream it beat by beat
+        // over the shared bus, open and restore the destination row. With
+        // the buffers, group segments pipeline independently at the
+        // column-access rate.
+        let g = arch.hbm.geometry;
+        let t = arch.hbm.timing;
+        let beats = f64::from(g.row_bits()) / f64::from(g.dq_bits);
+        let unbuffered_gbs = f64::from(g.row_bytes) / (2.0 * t.t_rc + beats * t.t_ccd_l);
+        let stream_floor_gbs = unbuffered_gbs;
+        if arch.kind.has_buffers() {
+            arch.hbm.bus.group_gbs = f64::from(g.dq_bits) / 8.0 / t.t_ccd_s; // 16 GB/s
+        } else {
+            arch.hbm.bus.group_gbs = unbuffered_gbs;
+            arch.hbm.bus.channel_gbs = unbuffered_gbs;
+        }
+        let hbm = &arch.hbm;
+        let map = hbm.resource_map(arch.kind.has_buffers());
+        let pim = PimCostModel::new(hbm.geometry, hbm.timing, hbm.energy, arch.pim);
+        let acu = AcuReduceModel::new(hbm.geometry, hbm.timing, hbm.energy, arch.acu);
+        let buffer = arch
+            .kind
+            .has_buffers()
+            .then(|| DataBufferModel::new(hbm.timing, hbm.energy));
+        let rowclone = RowCloneModel::new(hbm.geometry, hbm.timing, hbm.energy);
+        let xfer = TransferCostModel::new(hbm.geometry, hbm.energy, arch.kind.has_buffers());
+        Self {
+            arch,
+            map,
+            pim,
+            acu,
+            divider: DividerModel::default(),
+            buffer,
+            rowclone,
+            xfer,
+            stream_floor_gbs,
+            ring_cache: HashMap::new(),
+            broadcast_cache: HashMap::new(),
+            tree_cache: HashMap::new(),
+        }
+    }
+
+    /// The architecture being priced.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Run a program, returning global and per-scope statistics. Phase
+    /// latencies include the DRAM refresh stretch (each bank loses `t_RFC`
+    /// of every `t_REFI`).
+    pub fn run(&mut self, program: &Program) -> (SimStats, ScopedStats) {
+        let mut engine = Engine::new();
+        engine.set_latency_scale(1.0 + self.arch.hbm.timing.refresh_overhead());
+        self.run_on(program, &mut engine);
+        engine.into_stats()
+    }
+
+    fn run_on(&mut self, program: &Program, engine: &mut Engine) {
+        let steps = &program.steps;
+        let mut i = 0;
+        while i < steps.len() {
+            // Pipelined ring: a ring broadcast immediately followed by the
+            // point-wise multiply (and reduction) it feeds executes round
+            // by round — transfer of round k+1 overlaps compute of round k
+            // — so the pair costs max(transfer, compute) instead of the
+            // barrier sum. Only the ring's share can hide; breakdown
+            // attribution keeps the visible residual as movement.
+            if self.arch.pipelined_ring {
+                if let (
+                    Some(Step::RingBroadcast { banks, bytes_per_hop, repeat, parallel }),
+                    Some(Step::PointwiseMul { elems_per_bank, total_elems, a_bits, b_bits }),
+                ) = (steps.get(i), steps.get(i + 1))
+                {
+                    let ring = self.ring_step(*banks, *bytes_per_hop);
+                    let ring_lat = ring.latency_ns * *repeat as f64;
+                    let (mul_lat, mul_pj) = self.pointwise(
+                        PimOp::Mul { a_bits: *a_bits, b_bits: *b_bits },
+                        *elems_per_bank,
+                        *total_elems,
+                    );
+                    let visible_ring = (ring_lat - mul_lat).max(0.0);
+                    engine.run(Phase::lump(
+                        Category::DataMovement,
+                        visible_ring,
+                        ring.energy_pj * *repeat as f64 * f64::from(*parallel),
+                        ring.bytes * *repeat as f64 * f64::from(*parallel),
+                    ));
+                    engine.run(Phase::lump(Category::Arithmetic, mul_lat, mul_pj, 0.0));
+                    i += 2;
+                    continue;
+                }
+            }
+            self.price(&steps[i], engine);
+            i += 1;
+        }
+    }
+
+    /// Run a program with a full phase timeline recorded; returns the
+    /// statistics plus a Chrome-tracing JSON document of the execution
+    /// (loadable in `chrome://tracing` or Perfetto).
+    pub fn run_traced(&mut self, program: &Program) -> (SimStats, ScopedStats, String) {
+        let mut engine = Engine::with_timeline();
+        engine.set_latency_scale(1.0 + self.arch.hbm.timing.refresh_overhead());
+        self.run_on(program, &mut engine);
+        let trace = engine.chrome_trace().unwrap_or_default();
+        let (stats, scoped) = engine.into_stats();
+        (stats, scoped, trace)
+    }
+
+    fn price(&mut self, step: &Step, engine: &mut Engine) {
+        match *step {
+            Step::Scope(ref label) => engine.set_scope(label),
+
+            Step::PointwiseMul { elems_per_bank, total_elems, a_bits, b_bits } => {
+                let (lat, pj) =
+                    self.pointwise(PimOp::Mul { a_bits, b_bits }, elems_per_bank, total_elems);
+                engine.run(Phase::lump(Category::Arithmetic, lat, pj, 0.0));
+            }
+            Step::PointwiseAdd { elems_per_bank, total_elems, bits } => {
+                let (lat, pj) = self.pointwise(PimOp::Add { bits }, elems_per_bank, total_elems);
+                engine.run(Phase::lump(Category::Arithmetic, lat, pj, 0.0));
+            }
+            Step::Exp { elems_per_bank, total_elems, bits, order } => {
+                let (lat, pj) =
+                    self.pointwise(PimOp::ExpTaylor { bits, order }, elems_per_bank, total_elems);
+                engine.run(Phase::lump(Category::Arithmetic, lat, pj, 0.0));
+            }
+
+            Step::Reduce { vec_len, bits, vectors_per_bank, total_vectors } => {
+                let (lat, pj) = self.reduce(vec_len, bits, vectors_per_bank, total_vectors);
+                engine.run(Phase::lump(Category::Reduction, lat, pj, 0.0));
+            }
+            Step::Recip { per_bank, total } => {
+                let (lat, pj) = self.recip(per_bank, total);
+                engine.run(Phase::lump(Category::Reduction, lat, pj, 0.0));
+            }
+
+            Step::Replicate { value_bits, copies, count_per_bank, total_count } => {
+                let (per_ns, per_pj) = ring::replicate_in_bank(
+                    self.buffer.as_ref(),
+                    &self.arch.hbm.timing,
+                    &self.arch.hbm.energy,
+                    value_bits,
+                    copies,
+                );
+                let lat = per_ns * count_per_bank as f64;
+                let pj = per_pj * total_count as f64;
+                let bytes =
+                    total_count as f64 * f64::from(copies) * f64::from(value_bits) / 8.0;
+                engine.run(Phase::lump(Category::DataMovement, lat, pj, bytes));
+            }
+
+            Step::HostBroadcast { bytes, banks } => {
+                let (lat, pj) = self.host_broadcast(bytes, banks);
+                engine.run(Phase::lump(
+                    Category::DataMovement,
+                    lat,
+                    pj,
+                    bytes as f64 * f64::from(banks.max(1)),
+                ));
+            }
+            Step::HostScatter { total_bytes } => {
+                let (lat, pj) = self.host_scatter(total_bytes);
+                engine.run(Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64));
+            }
+
+            Step::RingBroadcast { banks, bytes_per_hop, repeat, parallel } => {
+                let r = self.ring_step(banks, bytes_per_hop);
+                engine.run(Phase::lump(
+                    Category::DataMovement,
+                    r.latency_ns * repeat as f64,
+                    r.energy_pj * repeat as f64 * f64::from(parallel),
+                    r.bytes * repeat as f64 * f64::from(parallel),
+                ));
+            }
+            Step::OneToAll { src, banks, bytes, parallel } => {
+                let r = self.one_to_all(src, banks, bytes);
+                engine.run(Phase::lump(
+                    Category::DataMovement,
+                    r.latency_ns,
+                    r.energy_pj * f64::from(parallel),
+                    r.bytes * f64::from(parallel),
+                ));
+            }
+            Step::PairwiseReduceTree { banks, bytes, bits, elems, parallel } => {
+                let r = self.reduce_tree_moves(banks, bytes);
+                engine.run(Phase::lump(
+                    Category::DataMovement,
+                    r.latency_ns,
+                    r.energy_pj * f64::from(parallel),
+                    r.bytes * f64::from(parallel),
+                ));
+                // One in-bank add per tree level.
+                let levels = 32 - banks.count.max(1).leading_zeros() as u64;
+                let (lat, pj) = self.pointwise(PimOp::Add { bits }, elems, elems * levels);
+                engine.run(Phase::lump(
+                    Category::Reduction,
+                    lat * levels as f64,
+                    pj * f64::from(parallel),
+                    0.0,
+                ));
+            }
+
+            Step::BroadcastDup { bytes, banks } => {
+                let (lat, pj) = self.broadcast_dup(bytes, banks);
+                engine.run(Phase::lump(
+                    Category::DataMovement,
+                    lat,
+                    pj,
+                    bytes as f64 * f64::from(banks.max(1)),
+                ));
+            }
+            Step::IntraBankCopy { bytes_per_bank, total_bytes } => {
+                let (lat, pj) = match &self.buffer {
+                    Some(b) => (
+                        b.inter_subarray_copy_ns(bytes_per_bank),
+                        b.inter_subarray_copy_pj(total_bytes),
+                    ),
+                    None => (
+                        self.rowclone.buffered_copy_latency_ns(bytes_per_bank),
+                        self.rowclone.buffered_copy_energy_pj(total_bytes),
+                    ),
+                };
+                engine.run(Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64));
+            }
+            Step::ShuffleAll { total_bytes } => {
+                let (lat, pj) = self.shuffle_all(total_bytes);
+                engine.run(Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64));
+            }
+
+            Step::MemTouch { bytes_per_bank, total_bytes } => {
+                let (lat, pj) = self.mem_touch(bytes_per_bank, total_bytes);
+                engine.run(Phase::lump(Category::Other, lat, pj, total_bytes as f64));
+            }
+        }
+    }
+
+    // ---- compute pricing -------------------------------------------------
+
+    /// NBP abstract op count per element for a PIM op.
+    fn nbp_ops(op: PimOp) -> f64 {
+        match op {
+            PimOp::Mul { .. } | PimOp::Add { bits: _ } => 1.0,
+            PimOp::ExpTaylor { order, .. } => 2.0 * f64::from(order),
+            PimOp::Bitwise { planes } => f64::from(planes).max(1.0) / 16.0,
+        }
+    }
+
+    fn op_bits(op: PimOp) -> u32 {
+        match op {
+            PimOp::Mul { a_bits, b_bits } => a_bits.max(b_bits),
+            PimOp::Add { bits } => bits,
+            PimOp::ExpTaylor { bits, .. } => bits,
+            PimOp::Bitwise { .. } => 1,
+        }
+    }
+
+    fn pointwise(&self, op: PimOp, elems_per_bank: u64, total_elems: u64) -> (f64, f64) {
+        if self.arch.kind.computes_in_memory() {
+            (self.pim.latency_ns(op, elems_per_bank), self.pim.energy_pj(op, total_elems))
+        } else {
+            let g = &self.arch.hbm.geometry;
+            let per_channel = elems_per_bank * u64::from(g.banks_per_channel());
+            let rate = f64::from(calib::NBP_LANES)
+                * calib::NBP_CLOCK_GHZ
+                * f64::from(calib::NBP_UNITS_PER_CHANNEL); // elems/ns/channel
+            let lat = per_channel as f64 * Self::nbp_ops(op) / rate;
+            let pj = total_elems as f64
+                * Self::nbp_ops(op)
+                * (f64::from(Self::op_bits(op))
+                    * (self.arch.hbm.energy.e_pre_gsa + self.arch.hbm.energy.e_post_gsa)
+                    + calib::NBP_LOGIC_PJ_PER_OP);
+            (lat, pj)
+        }
+    }
+
+    fn reduce(
+        &self,
+        vec_len: u32,
+        bits: u32,
+        vectors_per_bank: u64,
+        total_vectors: u64,
+    ) -> (f64, f64) {
+        match self.arch.kind {
+            ArchKind::TransPim | ArchKind::TransPimNb => (
+                self.acu.bank_latency_ns(vec_len, bits, vectors_per_bank),
+                self.acu.energy_pj(vec_len, bits, total_vectors),
+            ),
+            ArchKind::OriginalPim => (
+                self.pim.reduce_tree_latency_ns(vec_len, bits, vectors_per_bank),
+                self.pim.reduce_tree_energy_pj(vec_len, bits, total_vectors),
+            ),
+            ArchKind::Nbp => {
+                let g = &self.arch.hbm.geometry;
+                let per_channel =
+                    vectors_per_bank * u64::from(g.banks_per_channel());
+                let elems = per_channel * u64::from(vec_len);
+                let rate = f64::from(calib::NBP_LANES) * calib::NBP_CLOCK_GHZ;
+                let lat = elems as f64 / rate + per_channel as f64 * calib::NBP_VECTOR_RESTART_NS;
+                let total_elems = total_vectors * u64::from(vec_len);
+                let pj = total_elems as f64
+                    * (f64::from(bits)
+                        * (self.arch.hbm.energy.e_pre_gsa + self.arch.hbm.energy.e_post_gsa)
+                        + calib::NBP_LOGIC_PJ_PER_OP);
+                (lat, pj)
+            }
+        }
+    }
+
+    fn recip(&self, per_bank: u64, total: u64) -> (f64, f64) {
+        match self.arch.kind {
+            ArchKind::TransPim | ArchKind::TransPimNb => {
+                let per_divider = per_bank.div_ceil(u64::from(self.arch.acu.p_sub).max(1));
+                (self.divider.latency_ns(per_divider), self.divider.energy_pj(total))
+            }
+            ArchKind::OriginalPim => {
+                // Newton–Raphson in the arrays: 2 multiplies + 1 add per
+                // iteration at Softmax width.
+                let mul = PimOp::Mul { a_bits: 16, b_bits: 16 };
+                let add = PimOp::Add { bits: 16 };
+                let iters = f64::from(calib::PIM_RECIP_ITERATIONS);
+                let lat = iters
+                    * (2.0 * self.pim.latency_ns(mul, per_bank)
+                        + self.pim.latency_ns(add, per_bank));
+                let pj = iters
+                    * (2.0 * self.pim.energy_pj(mul, total) + self.pim.energy_pj(add, total));
+                (lat, pj)
+            }
+            ArchKind::Nbp => {
+                let ops = 3.0 * f64::from(calib::PIM_RECIP_ITERATIONS);
+                let g = &self.arch.hbm.geometry;
+                let per_channel = per_bank * u64::from(g.banks_per_channel());
+                let rate = f64::from(calib::NBP_LANES) * calib::NBP_CLOCK_GHZ;
+                let lat = per_channel as f64 * ops / rate;
+                let pj = total as f64 * ops * calib::NBP_LOGIC_PJ_PER_OP;
+                (lat, pj)
+            }
+        }
+    }
+
+    // ---- movement pricing ------------------------------------------------
+
+    fn layout_factor(&self) -> f64 {
+        if self.arch.kind.computes_in_memory() { calib::LAYOUT_REORG_OVERHEAD } else { 1.0 }
+    }
+
+    fn host_broadcast(&self, bytes: u64, banks: u32) -> (f64, f64) {
+        let g = &self.arch.hbm.geometry;
+        let bus = &self.arch.hbm.bus;
+        let b = bytes as f64;
+        let bits = b * 8.0;
+        let channels = f64::from(g.total_channels());
+        let base = b / bus.host_gbs + b / bus.stack_gbs;
+        let (lat, bus_traversals) = if self.arch.kind.has_buffers() {
+            // Broadcast write: one channel-bus pass per channel, all banks
+            // of the channel latch simultaneously — paced by the banks'
+            // row-write rate, not the bus burst rate.
+            (base + self.layout_factor() * b / self.stream_floor_gbs.min(bus.channel_gbs), channels)
+        } else {
+            // Original datapath: one serialized, row-cycle-bound pass per
+            // bank on each channel's shared bus.
+            let per_chan = f64::from(g.banks_per_channel());
+            (
+                base + self.layout_factor() * per_chan * b / bus.channel_gbs,
+                channels * f64::from(g.banks_per_channel()),
+            )
+        };
+        let e = &self.arch.hbm.energy;
+        let pj = bits * e.e_io * (1.0 + f64::from(g.stacks))
+            + bits * e.e_post_gsa * bus_traversals
+            + f64::from(banks) * self.xfer.bank_write_energy_pj(bytes);
+        (lat, pj)
+    }
+
+    fn host_scatter(&self, total_bytes: u64) -> (f64, f64) {
+        let g = &self.arch.hbm.geometry;
+        let bus = &self.arch.hbm.bus;
+        let b = total_bytes as f64;
+        let per_channel = b / f64::from(g.total_channels());
+        let lat = b / bus.host_gbs
+            + self.layout_factor() * per_channel / self.stream_floor_gbs.min(bus.channel_gbs);
+        let e = &self.arch.hbm.energy;
+        let bits = b * 8.0;
+        let pj = bits * (e.e_io + e.e_post_gsa)
+            + self.xfer.bank_write_energy_pj(total_bytes);
+        (lat, pj)
+    }
+
+    fn shuffle_all(&self, total_bytes: u64) -> (f64, f64) {
+        let g = &self.arch.hbm.geometry;
+        let bus = &self.arch.hbm.bus;
+        // With buffers every bank-group segment streams independently;
+        // without them each channel's shared bus is the unit of transfer.
+        let agg = if self.arch.kind.has_buffers() {
+            f64::from(g.total_groups()) * bus.group_gbs
+        } else {
+            f64::from(g.total_channels()) * bus.channel_gbs
+        };
+        let lat = self.layout_factor() * total_bytes as f64 / agg;
+        let e = &self.arch.hbm.energy;
+        let bits = total_bytes as f64 * 8.0;
+        // Read out of one bank, across the bus, into another.
+        let pj = bits * (2.0 * (e.e_pre_gsa + e.e_post_gsa) + e.e_io)
+            + 2.0 * (total_bytes as f64 / f64::from(g.row_bytes)) * e.e_act;
+        (lat, pj)
+    }
+
+    fn broadcast_dup(&self, bytes: u64, banks: u32) -> (f64, f64) {
+        let g = &self.arch.hbm.geometry;
+        let bus = &self.arch.hbm.bus;
+        let b = bytes as f64;
+        let copies_per_channel = if self.arch.kind.has_buffers() {
+            1.0 // broadcast write reaches all banks of the channel at once
+        } else {
+            f64::from(g.banks_per_channel())
+        };
+        // Broadcast writes are paced by the receiving banks' row-write
+        // rate (channel_gbs already equals it on unbuffered datapaths).
+        let lat = b / bus.stack_gbs
+            + self.layout_factor() * copies_per_channel * b
+                / self.stream_floor_gbs.min(bus.channel_gbs);
+        let e = &self.arch.hbm.energy;
+        let bits = b * 8.0;
+        let pj = bits * (e.e_pre_gsa + e.e_post_gsa) // gather source read
+            + bits * e.e_post_gsa * f64::from(g.total_channels()) * copies_per_channel
+            + f64::from(banks) * self.xfer.bank_write_energy_pj(bytes);
+        (lat, pj)
+    }
+
+    fn mem_touch(&self, bytes_per_bank: u64, total_bytes: u64) -> (f64, f64) {
+        let g = &self.arch.hbm.geometry;
+        let t = &self.arch.hbm.timing;
+        let rows = bytes_per_bank.div_ceil(u64::from(g.row_bytes).max(1)) as f64;
+        let beats = (bytes_per_bank * 8).div_ceil(u64::from(g.dq_bits)) as f64;
+        let lat = rows * t.t_rc + beats * t.t_ccd_l;
+        let e = &self.arch.hbm.energy;
+        let total_rows = total_bytes.div_ceil(u64::from(g.row_bytes).max(1)) as f64;
+        let pj = total_rows * e.e_act + total_bytes as f64 * 8.0 * e.e_pre_gsa;
+        (lat, pj)
+    }
+
+    // ---- scheduled/memoized communication ---------------------------------
+
+    fn ring_step(&mut self, banks: BankRange, bytes: u64) -> ScheduleResult {
+        let key = (banks.start, banks.count, bytes);
+        if let Some(r) = self.ring_cache.get(&key) {
+            return *r;
+        }
+        let ids = banks.to_vec();
+        let r = ring::ring_step(&self.map, &self.xfer, &ids, bytes);
+        self.ring_cache.insert(key, r);
+        r
+    }
+
+    fn one_to_all(&mut self, src: u32, banks: BankRange, bytes: u64) -> ScheduleResult {
+        let key = (banks.start, banks.count, bytes);
+        if let Some(r) = self.broadcast_cache.get(&key) {
+            return *r;
+        }
+        let ids = banks.to_vec();
+        let r = one_to_all_broadcast(&self.map, &self.xfer, BankId(src), &ids, bytes);
+        self.broadcast_cache.insert(key, r);
+        r
+    }
+
+    fn reduce_tree_moves(&mut self, banks: BankRange, bytes: u64) -> ScheduleResult {
+        let key = (banks.start, banks.count, bytes);
+        if let Some(r) = self.tree_cache.get(&key) {
+            return *r;
+        }
+        let ids = banks.to_vec();
+        let mut total = ScheduleResult::default();
+        let mut stride = 1usize;
+        while stride < ids.len() {
+            let hops: Vec<Hop> = pairwise_reduce_hops(&ids, stride, bytes);
+            let r = schedule_hops(&self.map, &self.xfer, &hops);
+            total.latency_ns += r.latency_ns;
+            total.energy_pj += r.energy_pj;
+            total.bytes += r.bytes;
+            total.slots += r.slots;
+            stride *= 2;
+        }
+        self.tree_cache.insert(key, total);
+        total
+    }
+
+    /// Expose the ring-step scheduler for ablation benches: cost of one
+    /// full ring step over `banks` with `bytes` per hop.
+    pub fn ring_step_cost(&mut self, banks: BankRange, bytes: u64) -> ScheduleResult {
+        self.ring_step(banks, bytes)
+    }
+
+    /// Validate a ring schedule invariant used by tests: the full ring hop
+    /// set of this architecture is conflict-free per slot (delegates to the
+    /// scheduler; the slot count must be ≥ the per-group serialization
+    /// lower bound).
+    pub fn ring_slots(&mut self, banks: BankRange, bytes: u64) -> u32 {
+        self.ring_step(banks, bytes).slots
+    }
+
+    /// Expose the decoder's pairwise reduction-tree transfer cost for
+    /// ablation benches (movement only; the in-bank adds are priced
+    /// separately by [`Step::PairwiseReduceTree`]).
+    pub fn reduce_tree_cost(&mut self, banks: BankRange, bytes: u64) -> ScheduleResult {
+        self.reduce_tree_moves(banks, bytes)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transpim_dataflow::ir::Precision;
+    use transpim_dataflow::{layer_flow, token_flow};
+    use transpim_transformer::workload::Workload;
+
+    fn run(kind: ArchKind, token: bool, w: &Workload) -> SimStats {
+        let arch = ArchConfig::new(kind);
+        let banks = arch.hbm.geometry.total_banks();
+        let prog = if token {
+            token_flow::compile(w, banks)
+        } else {
+            layer_flow::compile(w, banks)
+        };
+        let mut ex = Executor::new(arch);
+        ex.run(&prog).0
+    }
+
+    fn small_workload() -> Workload {
+        let mut w = Workload::imdb();
+        w.model.encoder_layers = 2;
+        w
+    }
+
+    #[test]
+    fn transpim_beats_pim_only_and_nbp() {
+        let w = small_workload();
+        let t = run(ArchKind::TransPim, true, &w).latency_ns;
+        let p = run(ArchKind::OriginalPim, true, &w).latency_ns;
+        let n = run(ArchKind::Nbp, true, &w).latency_ns;
+        assert!(t < p, "TransPIM {t} should beat OriginalPIM {p}");
+        assert!(t < n, "TransPIM {t} should beat NBP {n}");
+    }
+
+    #[test]
+    fn token_dataflow_beats_layer_dataflow() {
+        let w = small_workload();
+        for kind in ArchKind::ALL {
+            let t = run(kind, true, &w).latency_ns;
+            let l = run(kind, false, &w).latency_ns;
+            assert!(t < l, "{kind}: token {t} should beat layer {l}");
+        }
+    }
+
+    #[test]
+    fn buffers_reduce_data_movement() {
+        let w = small_workload();
+        let with = run(ArchKind::TransPim, true, &w);
+        let without = run(ArchKind::TransPimNb, true, &w);
+        let m_with = with.time_ns[Category::DataMovement.index()];
+        let m_without = without.time_ns[Category::DataMovement.index()];
+        assert!(
+            m_with < m_without,
+            "buffered movement {m_with} should beat unbuffered {m_without}"
+        );
+    }
+
+    #[test]
+    fn acu_slashes_reduction_time() {
+        let w = small_workload();
+        let t = run(ArchKind::TransPim, true, &w);
+        let p = run(ArchKind::OriginalPim, true, &w);
+        let rt = t.time_ns[Category::Reduction.index()];
+        let rp = p.time_ns[Category::Reduction.index()];
+        assert!(rp > 5.0 * rt, "ACU reduction {rt} should be ≫ faster than PIM-only {rp}");
+    }
+
+    #[test]
+    fn nbp_arithmetic_is_slow_but_busy() {
+        let w = small_workload();
+        let n = run(ArchKind::Nbp, true, &w);
+        let t = run(ArchKind::TransPim, true, &w);
+        let an = n.time_ns[Category::Arithmetic.index()];
+        let at = t.time_ns[Category::Arithmetic.index()];
+        assert!(an > 2.0 * at, "NBP arithmetic {an} should lag PIM {at}");
+        assert!(n.compute_utilization() > t.compute_utilization());
+    }
+
+    #[test]
+    fn breakdown_partitions_latency() {
+        let w = small_workload();
+        let s = run(ArchKind::TransPim, true, &w);
+        let sum: f64 = s.time_ns.iter().sum();
+        assert!((sum - s.latency_ns).abs() < 1e-6 * s.latency_ns.max(1.0));
+        assert!(s.total_energy_pj() > 0.0 && s.bytes_moved > 0.0);
+    }
+
+    #[test]
+    fn pipelined_ring_never_slower_and_hides_movement() {
+        let w = {
+            let mut w = Workload::pubmed();
+            w.model.encoder_layers = 2;
+            w.model.decoder_layers = 0;
+            w.decode_len = 0;
+            w
+        };
+        let prog = token_flow::compile(&w, 2048);
+        let barrier = {
+            let mut ex = Executor::new(ArchConfig::new(ArchKind::TransPim));
+            ex.run(&prog).0
+        };
+        let pipelined = {
+            let arch = ArchConfig::new(ArchKind::TransPim).with_pipelined_ring(true);
+            let mut ex = Executor::new(arch);
+            ex.run(&prog).0
+        };
+        assert!(pipelined.latency_ns <= barrier.latency_ns);
+        assert!(
+            pipelined.time_ns[Category::DataMovement.index()]
+                <= barrier.time_ns[Category::DataMovement.index()]
+        );
+        // Energy is work, not schedule: unchanged.
+        assert!(
+            (pipelined.total_energy_pj() - barrier.total_energy_pj()).abs()
+                < 1e-6 * barrier.total_energy_pj()
+        );
+    }
+
+    #[test]
+    fn zero_sized_steps_are_free_and_finite() {
+        let mut ex = Executor::new(ArchConfig::new(ArchKind::TransPim));
+        let mut prog = transpim_dataflow::ir::Program::new();
+        prog.push(Step::PointwiseMul { elems_per_bank: 0, total_elems: 0, a_bits: 8, b_bits: 8 });
+        prog.push(Step::Reduce { vec_len: 1, bits: 8, vectors_per_bank: 0, total_vectors: 0 });
+        prog.push(Step::HostScatter { total_bytes: 0 });
+        prog.push(Step::MemTouch { bytes_per_bank: 0, total_bytes: 0 });
+        let (stats, _) = ex.run(&prog);
+        assert!(stats.latency_ns.is_finite() && stats.latency_ns >= 0.0);
+        assert!(stats.total_energy_pj().is_finite());
+    }
+
+    #[test]
+    fn decoder_program_executes() {
+        let mut w = Workload::pubmed();
+        w.model.encoder_layers = 1;
+        w.model.decoder_layers = 1;
+        w.decode_len = 3;
+        w.seq_len = 256;
+        let s = run(ArchKind::TransPim, true, &w);
+        assert!(s.latency_ns > 0.0);
+    }
+
+    #[test]
+    fn precision_default_is_paper_precision() {
+        let p = Precision::default();
+        assert_eq!((p.act_bits, p.softmax_bits, p.taylor_order), (8, 16, 5));
+    }
+}

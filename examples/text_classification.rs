@@ -1,0 +1,63 @@
+//! Text classification (the paper's IMDB/RoBERTa scenario): compare every
+//! memory-based system and both dataflows on an encoder-only workload,
+//! including the GPU/TPU reference points.
+//!
+//! ```bash
+//! cargo run --release --example text_classification
+//! ```
+
+use transpim_repro::baselines::gpu::PlatformModel;
+use transpim_repro::hbm::stats::Category;
+use transpim_repro::transformer::workload::Workload;
+use transpim_repro::transpim::{Accelerator, ArchConfig, ArchKind, DataflowKind};
+
+fn main() {
+    let workload = Workload::imdb();
+    println!(
+        "text classification: {} × {} tokens, batch {} ({} encoder layers, D={})",
+        workload.name,
+        workload.seq_len,
+        workload.batch,
+        workload.model.encoder_layers,
+        workload.model.d_model
+    );
+
+    let gpu = PlatformModel::rtx_2080_ti();
+    let tpu = PlatformModel::tpu_v3();
+    println!(
+        "\nreference platforms: {} {:.1} ms/batch | {} {:.1} ms/batch",
+        gpu.name,
+        gpu.batch_time_s(&workload) * 1e3,
+        tpu.name,
+        tpu.batch_time_s(&workload) * 1e3
+    );
+
+    println!("\nmemory-based systems:");
+    let mut best: Option<(String, f64)> = None;
+    for kind in ArchKind::ALL {
+        for df in DataflowKind::ALL {
+            let acc = Accelerator::new(ArchConfig::new(kind));
+            let r = acc.simulate(&workload, df);
+            println!("  {}", r.summary());
+            if best.as_ref().is_none_or(|(_, ms)| r.latency_ms() < *ms) {
+                best = Some((r.system.clone(), r.latency_ms()));
+            }
+        }
+    }
+    let (system, ms) = best.expect("at least one system");
+    println!("\nfastest system: {system} at {ms:.2} ms per batch");
+
+    // Where does the winner spend its time?
+    let r = Accelerator::new(ArchConfig::new(ArchKind::TransPim))
+        .simulate(&workload, DataflowKind::Token);
+    println!("\nToken-TransPIM layer-kind breakdown:");
+    for (scope, s) in r.scoped.iter() {
+        println!(
+            "  {:<14} {:>9.3} ms  (movement {:>5.1}%, compute {:>5.1}%)",
+            scope,
+            s.latency_ns * 1e-6,
+            100.0 * s.time_fraction(Category::DataMovement),
+            100.0 * (s.time_fraction(Category::Arithmetic) + s.time_fraction(Category::Reduction)),
+        );
+    }
+}

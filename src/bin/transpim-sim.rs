@@ -1,0 +1,300 @@
+//! `transpim-sim` — command-line driver for the TransPIM simulator.
+//!
+//! ```bash
+//! # One system on one workload
+//! cargo run --release --bin transpim-sim -- --workload pubmed --arch transpim --dataflow token
+//!
+//! # All eight memory-based systems
+//! cargo run --release --bin transpim-sim -- --workload imdb --all
+//!
+//! # Custom shapes, JSON report, Chrome trace
+//! cargo run --release --bin transpim-sim -- --workload pegasus:8192 --stacks 4 \
+//!     --p-sub 32 --json report.json --trace trace.json
+//! ```
+
+use std::process::ExitCode;
+use transpim::accelerator::Accelerator;
+
+/// Capacity warning helper (token dataflow per-bank working set).
+mod transpim_repro_capacity {
+    use transpim::arch::ArchConfig;
+    use transpim_dataflow::footprint::token_flow_footprint;
+    use transpim_dataflow::ir::Precision;
+    use transpim_dataflow::sharding::Sharding;
+    use transpim_transformer::workload::Workload;
+
+    pub fn check(w: &Workload, arch: &ArchConfig) {
+        let banks = arch.hbm.geometry.total_banks();
+        let sharding = Sharding::new(banks, w.batch as u32, w.seq_len as u32);
+        let per_seq = u64::from(sharding.sequences[0].banks.count);
+        let f = token_flow_footprint(
+            &w.model,
+            w.seq_len as u64,
+            w.decode_len as u64,
+            per_seq,
+            Precision::default(),
+        );
+        let bank = arch.hbm.geometry.bank_bytes();
+        if !f.fits(bank) {
+            eprintln!(
+                "warning: per-bank working set {:.1} MiB exceeds the {:.0} MiB bank                  (weights {:.1} + scores {:.1} MiB); results model an infeasible mapping —                  add stacks or shorten the sequence",
+                f.total() as f64 / (1 << 20) as f64,
+                bank as f64 / (1 << 20) as f64,
+                f.weights as f64 / (1 << 20) as f64,
+                f.scores as f64 / (1 << 20) as f64,
+            );
+        }
+    }
+}
+use transpim::arch::{ArchConfig, ArchKind};
+use transpim::report::DataflowKind;
+use transpim_transformer::workload::Workload;
+
+#[derive(Debug)]
+struct Options {
+    workload: Workload,
+    arch: ArchKind,
+    dataflow: DataflowKind,
+    stacks: u32,
+    p_sub: u32,
+    p_add: u32,
+    all: bool,
+    json: Option<String>,
+    trace: Option<String>,
+    dump_ir: Option<String>,
+}
+
+const USAGE: &str = "\
+transpim-sim — simulate Transformer inference on TransPIM and its baselines
+
+USAGE:
+  transpim-sim [OPTIONS]
+
+OPTIONS:
+  --workload <NAME>    imdb | triviaqa | pubmed | arxiv | lm |
+                       roberta:<L> | pegasus:<L> | file:<PATH.json>
+                                                          [default: imdb]
+  --model <NAME>       override the model preset (roberta-base, bert-base,
+                       bert-large, pegasus-base, pegasus-large, gpt2-small,
+                       gpt2-medium, gpt2-large)
+  --arch <ARCH>        transpim | transpim-nb | pim | nbp [default: transpim]
+  --dataflow <FLOW>    token | layer                      [default: token]
+  --stacks <N>         HBM stacks (1..)                   [default: 8]
+  --p-sub <N>          ACUs per bank                      [default: 16]
+  --p-add <N>          adder trees per ACU                [default: 4]
+  --batch <N>          override batch size
+  --seq-len <N>        override sequence length
+  --decode <N>         override generated-token count
+  --all                run all 8 dataflow×architecture systems
+  --json <PATH>        write the report(s) as JSON
+  --trace <PATH>       write a Chrome-tracing timeline (single-system mode)
+  --dump-ir <PATH>     write the compiled dataflow program as JSON
+  --help               show this help
+";
+
+fn parse_workload(s: &str) -> Result<Workload, String> {
+    if let Some(l) = s.strip_prefix("roberta:") {
+        let l: usize = l.parse().map_err(|_| format!("bad length in '{s}'"))?;
+        return Ok(Workload::synthetic_roberta(l));
+    }
+    if let Some(l) = s.strip_prefix("pegasus:") {
+        let l: usize = l.parse().map_err(|_| format!("bad length in '{s}'"))?;
+        return Ok(Workload::synthetic_pegasus(l));
+    }
+    if let Some(path) = s.strip_prefix("file:") {
+        // Custom workload as JSON (the serde form of `Workload`).
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading workload file {path}: {e}"))?;
+        return serde_json::from_str(&text)
+            .map_err(|e| format!("parsing workload file {path}: {e}"));
+    }
+    match s {
+        "imdb" => Ok(Workload::imdb()),
+        "triviaqa" => Ok(Workload::triviaqa()),
+        "pubmed" => Ok(Workload::pubmed()),
+        "arxiv" => Ok(Workload::arxiv()),
+        "lm" => Ok(Workload::lm()),
+        _ => Err(format!("unknown workload '{s}'")),
+    }
+}
+
+fn parse_arch(s: &str) -> Result<ArchKind, String> {
+    match s {
+        "transpim" => Ok(ArchKind::TransPim),
+        "transpim-nb" | "nb" => Ok(ArchKind::TransPimNb),
+        "pim" | "original-pim" => Ok(ArchKind::OriginalPim),
+        "nbp" => Ok(ArchKind::Nbp),
+        _ => Err(format!("unknown architecture '{s}'")),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        workload: Workload::imdb(),
+        arch: ArchKind::TransPim,
+        dataflow: DataflowKind::Token,
+        stacks: 8,
+        p_sub: 16,
+        p_add: 4,
+        all: false,
+        json: None,
+        trace: None,
+        dump_ir: None,
+    };
+    let mut batch = None;
+    let mut seq_len = None;
+    let mut decode = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--workload" => o.workload = parse_workload(&value("--workload")?)?,
+            "--model" => {
+                let name = value("--model")?;
+                o.workload.model =
+                    transpim_transformer::model::ModelConfig::by_name(&name)
+                        .ok_or_else(|| format!("unknown model '{name}'"))?;
+            }
+            "--arch" => o.arch = parse_arch(&value("--arch")?)?,
+            "--dataflow" => {
+                o.dataflow = match value("--dataflow")?.as_str() {
+                    "token" => DataflowKind::Token,
+                    "layer" => DataflowKind::Layer,
+                    other => return Err(format!("unknown dataflow '{other}'")),
+                }
+            }
+            "--stacks" => o.stacks = value("--stacks")?.parse().map_err(|e| format!("--stacks: {e}"))?,
+            "--p-sub" => o.p_sub = value("--p-sub")?.parse().map_err(|e| format!("--p-sub: {e}"))?,
+            "--p-add" => o.p_add = value("--p-add")?.parse().map_err(|e| format!("--p-add: {e}"))?,
+            "--batch" => batch = Some(value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?),
+            "--seq-len" => seq_len = Some(value("--seq-len")?.parse().map_err(|e| format!("--seq-len: {e}"))?),
+            "--decode" => decode = Some(value("--decode")?.parse().map_err(|e| format!("--decode: {e}"))?),
+            "--all" => o.all = true,
+            "--json" => o.json = Some(value("--json")?),
+            "--trace" => o.trace = Some(value("--trace")?),
+            "--dump-ir" => o.dump_ir = Some(value("--dump-ir")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if let Some(b) = batch {
+        o.workload.batch = b;
+    }
+    if let Some(l) = seq_len {
+        o.workload.seq_len = l;
+    }
+    if let Some(d) = decode {
+        o.workload.decode_len = d;
+    }
+    if o.workload.batch == 0 || o.workload.seq_len == 0 {
+        return Err("batch and seq-len must be positive".into());
+    }
+    if o.stacks == 0 {
+        return Err("--stacks must be positive".into());
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+        }
+    };
+
+    let make_arch = |kind: ArchKind| {
+        ArchConfig::new(kind).with_stacks(opts.stacks).with_acu(opts.p_sub, opts.p_add)
+    };
+
+    if opts.all {
+        let mut reports = Vec::new();
+        for kind in ArchKind::ALL {
+            for df in DataflowKind::ALL {
+                let r = Accelerator::new(make_arch(kind)).simulate(&opts.workload, df);
+                println!("{}", r.summary());
+                reports.push(r);
+            }
+        }
+        if let Some(path) = &opts.json {
+            let json = serde_json::to_string_pretty(&reports).expect("serialize reports");
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let acc = Accelerator::new(make_arch(opts.arch));
+
+    // Optional IR dump: the compiled dataflow program, before pricing.
+    if let Some(path) = &opts.dump_ir {
+        let banks = acc.arch().hbm.geometry.total_banks();
+        let prog = match opts.dataflow {
+            DataflowKind::Token => transpim_dataflow::token_flow::compile(&opts.workload, banks),
+            DataflowKind::Layer => transpim_dataflow::layer_flow::compile(&opts.workload, banks),
+        };
+        match serde_json::to_string_pretty(&prog) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: writing {path}: {e}");
+                    return ExitCode::from(1);
+                }
+                eprintln!("[IR with {} steps written to {path}]", prog.len());
+            }
+            Err(e) => {
+                eprintln!("error: serializing IR: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    // Capacity check: does the token dataflow's per-bank working set fit?
+    {
+        use transpim_repro_capacity::check;
+        check(&opts.workload, acc.arch());
+    }
+
+    let (report, trace) = acc.simulate_traced(&opts.workload, opts.dataflow);
+    println!("{}", report.summary());
+    println!();
+    println!("per-layer-kind breakdown:");
+    for (scope, s) in report.scoped.iter() {
+        println!(
+            "  {:<14} {:>12.3} ms   {:>10.3} mJ",
+            scope,
+            s.latency_ns * 1e-6,
+            s.total_energy_pj() * 1e-9
+        );
+    }
+    if let Some(path) = &opts.json {
+        match report.to_json() {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: writing {path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: serializing report: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if let Some(path) = &opts.trace {
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("[trace written to {path} — open in chrome://tracing or Perfetto]");
+    }
+    ExitCode::SUCCESS
+}

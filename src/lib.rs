@@ -1,0 +1,19 @@
+//! Umbrella crate of the TransPIM (HPCA 2022) reproduction.
+//!
+//! Re-exports the workspace crates so the examples and integration tests
+//! can reach everything through one dependency. Start with
+//! [`transpim::Accelerator`] for simulation, or see the `examples/`
+//! directory:
+//!
+//! * `quickstart` — simulate one workload on TransPIM and print a report,
+//! * `text_classification` — the RoBERTa/IMDB study across systems,
+//! * `summarization` — Pegasus/PubMed with the generative decoder,
+//! * `long_sequence` — the 32 K-token scaling study.
+
+pub use transpim;
+pub use transpim_acu as acu;
+pub use transpim_baselines as baselines;
+pub use transpim_dataflow as dataflow;
+pub use transpim_hbm as hbm;
+pub use transpim_pim as pim;
+pub use transpim_transformer as transformer;

@@ -1,0 +1,192 @@
+//! Integration tests: the token-based dataflow computes exactly what the
+//! monolithic reference Transformer computes (Section III correctness).
+//!
+//! These span `transpim-transformer` (reference), `transpim-dataflow`
+//! (sharded execution) and `transpim` (the end-to-end verifier).
+
+use proptest::prelude::*;
+use transpim::functional::verify_token_dataflow;
+use transpim_dataflow::functional::{encoder_layer_sharded, ShardedKv};
+use transpim_transformer::layers::encoder_layer;
+use transpim_transformer::matrix::Matrix;
+use transpim_transformer::model::{ModelConfig, ModelWeights};
+use transpim_transformer::softmax::SoftmaxKind;
+
+fn input(l: usize, d: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(l, d, |r, c| (((r * 37 + c * 11 + seed) % 89) as f32 / 89.0 - 0.5) * 1.4)
+}
+
+#[test]
+fn single_layer_sharded_encoder_matches_reference_across_bank_counts() {
+    let cfg = ModelConfig::tiny_test();
+    let w = ModelWeights::random(&cfg, 11);
+    let x = input(12, cfg.d_model, 0);
+    let reference = encoder_layer(&x, &w.encoder[0], cfg.heads, SoftmaxKind::Exact);
+    for banks in [1usize, 2, 3, 4, 6, 12, 24] {
+        let sharded = encoder_layer_sharded(&x, &w.encoder[0], cfg.heads, SoftmaxKind::Exact, banks);
+        let diff = reference.max_abs_diff(&sharded);
+        assert!(diff < 1e-4, "banks={banks}: max diff {diff}");
+    }
+}
+
+#[test]
+fn sharded_encoder_matches_with_hardware_softmax() {
+    let cfg = ModelConfig::tiny_test();
+    let w = ModelWeights::random(&cfg, 12);
+    let x = input(9, cfg.d_model, 3);
+    let reference = encoder_layer(&x, &w.encoder[0], cfg.heads, SoftmaxKind::HardwareTaylor);
+    let sharded =
+        encoder_layer_sharded(&x, &w.encoder[0], cfg.heads, SoftmaxKind::HardwareTaylor, 3);
+    assert!(reference.max_abs_diff(&sharded) < 1e-4);
+}
+
+#[test]
+fn full_stack_encoder_decoder_verifies_end_to_end() {
+    let cfg = ModelConfig::tiny_test();
+    let w = ModelWeights::random(&cfg, 21);
+    let r = verify_token_dataflow(&cfg, &w, 10, 5, 4, SoftmaxKind::Exact);
+    assert!(
+        r.within(5e-4),
+        "encoder diff {} decoder diff {} (scale {})",
+        r.encoder_max_diff,
+        r.decoder_max_diff,
+        r.reference_scale
+    );
+}
+
+#[test]
+fn wider_model_verifies() {
+    // A slightly larger shape exercises multi-head splits that do not
+    // align with shard boundaries.
+    let cfg = ModelConfig {
+        name: "test-wide".into(),
+        encoder_layers: 3,
+        decoder_layers: 2,
+        d_model: 32,
+        heads: 4,
+        d_ff: 64,
+        cross_attention: true,
+    };
+    let w = ModelWeights::random(&cfg, 33);
+    let r = verify_token_dataflow(&cfg, &w, 13, 4, 5, SoftmaxKind::Exact);
+    assert!(r.within(5e-4), "enc {} dec {}", r.encoder_max_diff, r.decoder_max_diff);
+}
+
+#[test]
+fn decoder_only_gpt_style_model_verifies() {
+    let cfg = ModelConfig {
+        name: "test-gpt".into(),
+        encoder_layers: 0,
+        decoder_layers: 2,
+        d_model: 16,
+        heads: 2,
+        d_ff: 32,
+        cross_attention: false,
+    };
+    let w = ModelWeights::random(&cfg, 44);
+    let r = verify_token_dataflow(&cfg, &w, 6, 5, 3, SoftmaxKind::Exact);
+    assert!(r.decoder_max_diff < 5e-4, "dec diff {}", r.decoder_max_diff);
+}
+
+#[test]
+fn balanced_kv_placement_is_stable_under_growth() {
+    // The decoder assigns each generated token to the least-loaded bank
+    // (Section III-C); after T appends the imbalance is at most one row.
+    let mut kv = ShardedKv::from_context(&input(10, 8, 7), &input(10, 8, 8), 4);
+    for i in 0..23 {
+        let row = Matrix::from_fn(1, 8, |_, c| (i * 8 + c) as f32 * 0.01);
+        kv.append_balanced(row.clone(), row);
+    }
+    assert_eq!(kv.len(), 33);
+    let sizes: Vec<usize> = kv.k.iter().map(|m| m.rows()).collect();
+    let spread = sizes.iter().max().unwrap() - sizes.iter().min().unwrap();
+    assert!(spread <= 1, "sizes {sizes:?}");
+}
+
+#[test]
+fn quantized_weights_still_verify_and_stay_close_to_f32() {
+    // The int8 path (Section V-B precision): quantize every weight matrix,
+    // run the sharded dataflow on the quantized weights, and check (a) it
+    // still matches the reference on the *same* quantized weights exactly,
+    // and (b) both stay within quantization error of the f32 model.
+    use transpim_transformer::quant::fake_quant;
+    let cfg = ModelConfig::tiny_test();
+    let w = ModelWeights::random(&cfg, 99);
+    let mut wq = w.clone();
+    for layer in &mut wq.encoder {
+        layer.attn.wq = fake_quant(&layer.attn.wq);
+        layer.attn.wk = fake_quant(&layer.attn.wk);
+        layer.attn.wv = fake_quant(&layer.attn.wv);
+        layer.attn.wo = fake_quant(&layer.attn.wo);
+        layer.w1 = fake_quant(&layer.w1);
+        layer.w2 = fake_quant(&layer.w2);
+    }
+    let x = input(10, cfg.d_model, 9);
+
+    let ref_q = encoder_layer(&x, &wq.encoder[0], cfg.heads, SoftmaxKind::Exact);
+    let sharded_q = encoder_layer_sharded(&x, &wq.encoder[0], cfg.heads, SoftmaxKind::Exact, 4);
+    assert!(
+        ref_q.max_abs_diff(&sharded_q) < 1e-4,
+        "sharded-vs-reference on quantized weights: {}",
+        ref_q.max_abs_diff(&sharded_q)
+    );
+
+    let ref_f = encoder_layer(&x, &w.encoder[0], cfg.heads, SoftmaxKind::Exact);
+    let q_err = ref_f.max_abs_diff(&ref_q);
+    assert!(
+        q_err > 0.0 && q_err < 0.15 * ref_f.max_abs().max(1.0),
+        "int8 quantization error {q_err} out of expected band (scale {})",
+        ref_f.max_abs()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fuzz over model shapes: any (heads, width, layer counts, sequence
+    /// length, bank count) combination must verify. This is the strongest
+    /// correctness statement in the repository — the dataflow compiler's
+    /// cost model is only meaningful because these executions are real.
+    #[test]
+    fn random_shapes_verify(
+        heads in 1usize..4,
+        dh in 2usize..6,
+        enc_layers in 0usize..3,
+        dec_layers in 0usize..3,
+        seq in 1usize..12,
+        decode in 0usize..4,
+        banks in 1usize..7,
+        cross in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(enc_layers + dec_layers > 0);
+        let cfg = ModelConfig {
+            name: "fuzz".into(),
+            encoder_layers: enc_layers,
+            decoder_layers: dec_layers,
+            d_model: heads * dh,
+            heads,
+            d_ff: heads * dh * 2,
+            cross_attention: cross && enc_layers > 0 && dec_layers > 0,
+        };
+        let w = ModelWeights::random(&cfg, seed);
+        let r = verify_token_dataflow(&cfg, &w, seq, decode, banks, SoftmaxKind::Exact);
+        prop_assert!(
+            r.within(1e-3),
+            "shape {cfg:?} seq={seq} decode={decode} banks={banks}: enc {} dec {}",
+            r.encoder_max_diff,
+            r.decoder_max_diff
+        );
+    }
+}
+
+#[test]
+fn sharding_degenerate_cases_still_verify() {
+    let cfg = ModelConfig::tiny_test();
+    let w = ModelWeights::random(&cfg, 5);
+    // One token, many banks; many tokens, one bank.
+    for (l, banks) in [(1usize, 8usize), (16, 1), (2, 2)] {
+        let r = verify_token_dataflow(&cfg, &w, l, 2, banks, SoftmaxKind::Exact);
+        assert!(r.within(5e-4), "L={l} banks={banks}: enc {}", r.encoder_max_diff);
+    }
+}

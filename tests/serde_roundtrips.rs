@@ -1,0 +1,86 @@
+//! Serialization round-trips for every public data-structure type: configs,
+//! workloads, programs, and reports must survive JSON (the CLI's
+//! `--json`/`--dump-ir`/`file:` interfaces depend on it).
+
+use transpim::arch::{ArchConfig, ArchKind};
+use transpim::report::DataflowKind;
+use transpim::Accelerator;
+use transpim_dataflow::token_flow;
+use transpim_hbm::config::HbmConfig;
+use transpim_transformer::model::ModelConfig;
+use transpim_transformer::workload::Workload;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn hbm_config_roundtrips() {
+    let cfg = HbmConfig::builder().stacks(4).build();
+    assert_eq!(roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn arch_config_roundtrips_all_kinds() {
+    for kind in ArchKind::ALL {
+        let a = ArchConfig::new(kind).with_acu(8, 2).with_stacks(2);
+        assert_eq!(roundtrip(&a), a);
+    }
+}
+
+#[test]
+fn workloads_and_models_roundtrip() {
+    for w in Workload::paper_suite() {
+        assert_eq!(roundtrip(&w), w);
+    }
+    for m in ModelConfig::zoo() {
+        assert_eq!(roundtrip(&m), m);
+    }
+}
+
+#[test]
+fn compiled_programs_roundtrip() {
+    let mut w = Workload::imdb();
+    w.model.encoder_layers = 1;
+    let prog = token_flow::compile(&w, 256);
+    let back = roundtrip(&prog);
+    assert_eq!(back, prog);
+    assert_eq!(back.len(), prog.len());
+    assert_eq!(back.host_bytes(), prog.host_bytes());
+}
+
+#[test]
+fn reports_roundtrip_with_scoped_stats() {
+    let mut w = Workload::imdb();
+    w.model.encoder_layers = 1;
+    let r = Accelerator::new(ArchConfig::new(ArchKind::TransPim))
+        .simulate(&w, DataflowKind::Token);
+    let back = roundtrip(&r);
+    // Floats may lose an ulp through JSON text; compare semantically.
+    assert_eq!(back.system, r.system);
+    assert_eq!(back.total_ops, r.total_ops);
+    assert!((back.stats.latency_ns - r.stats.latency_ns).abs() < 1e-6 * r.stats.latency_ns);
+    let (a, b) = (back.scoped.get("enc.fc").unwrap(), r.scoped.get("enc.fc").unwrap());
+    assert!((a.latency_ns - b.latency_ns).abs() < 1e-6 * b.latency_ns);
+    assert!((a.total_energy_pj() - b.total_energy_pj()).abs() < 1e-6 * b.total_energy_pj());
+}
+
+#[test]
+fn workload_file_format_is_stable() {
+    // The exact JSON shape the CLI's `file:` loader documents.
+    let json = r#"{
+        "name": "custom",
+        "model": {
+            "name": "bert-base", "encoder_layers": 12, "decoder_layers": 0,
+            "d_model": 768, "heads": 12, "d_ff": 3072, "cross_attention": false
+        },
+        "seq_len": 256, "decode_len": 0, "batch": 2
+    }"#;
+    let w: Workload = serde_json::from_str(json).expect("documented format parses");
+    assert_eq!(w.seq_len, 256);
+    assert_eq!(w.model.heads, 12);
+}

@@ -1,0 +1,162 @@
+//! Integration tests: end-to-end simulation invariants across
+//! architectures, dataflows and workloads (the paper's headline orderings
+//! must hold wherever the evaluation section asserts them).
+
+use transpim::accelerator::Accelerator;
+use transpim::arch::{ArchConfig, ArchKind};
+use transpim::report::{DataflowKind, SimReport};
+use transpim_hbm::stats::Category;
+use transpim_transformer::workload::Workload;
+
+fn simulate(kind: ArchKind, df: DataflowKind, w: &Workload, stacks: u32) -> SimReport {
+    Accelerator::new(ArchConfig::new(kind).with_stacks(stacks)).simulate(w, df)
+}
+
+fn small_suite() -> Vec<Workload> {
+    // Shrunken versions of the paper workloads to keep test time low while
+    // preserving the shapes that drive the orderings.
+    let mut imdb = Workload::imdb();
+    imdb.model.encoder_layers = 2;
+    let mut pubmed = Workload::pubmed();
+    pubmed.model.encoder_layers = 2;
+    pubmed.model.decoder_layers = 2;
+    pubmed.decode_len = 4;
+    pubmed.seq_len = 1024;
+    vec![imdb, pubmed]
+}
+
+#[test]
+fn transpim_wins_on_every_workload() {
+    for w in small_suite() {
+        let t = simulate(ArchKind::TransPim, DataflowKind::Token, &w, 8).stats.latency_ns;
+        for kind in [ArchKind::OriginalPim, ArchKind::Nbp, ArchKind::TransPimNb] {
+            let other = simulate(kind, DataflowKind::Token, &w, 8).stats.latency_ns;
+            assert!(t < other, "{}: TransPIM {t} vs {kind} {other}", w.name);
+        }
+    }
+}
+
+#[test]
+fn token_dataflow_never_loses_to_layer_dataflow_on_long_sequences() {
+    let mut w = Workload::pubmed();
+    w.model.encoder_layers = 2;
+    w.model.decoder_layers = 0;
+    w.decode_len = 0;
+    for kind in ArchKind::ALL {
+        let token = simulate(kind, DataflowKind::Token, &w, 8).stats.latency_ns;
+        let layer = simulate(kind, DataflowKind::Layer, &w, 8).stats.latency_ns;
+        assert!(token <= layer * 1.02, "{kind}: token {token} vs layer {layer}");
+    }
+}
+
+#[test]
+fn token_sharding_gain_grows_with_sequence_length() {
+    // Section V-C: "the token-sharding works better in large workloads"
+    // because layer-based loading grows quadratically.
+    let gain = |l: usize| {
+        let mut w = Workload::synthetic_roberta(l);
+        w.model.encoder_layers = 2;
+        let token = simulate(ArchKind::OriginalPim, DataflowKind::Token, &w, 8).stats.latency_ns;
+        let layer = simulate(ArchKind::OriginalPim, DataflowKind::Layer, &w, 8).stats.latency_ns;
+        layer / token
+    };
+    let short = gain(256);
+    let long = gain(4096);
+    assert!(long > short, "gain should grow: short {short}, long {long}");
+}
+
+#[test]
+fn buffers_cut_movement_on_both_dataflows() {
+    for w in small_suite() {
+        for df in DataflowKind::ALL {
+            let buf = simulate(ArchKind::TransPim, df, &w, 8).stats;
+            let nb = simulate(ArchKind::TransPimNb, df, &w, 8).stats;
+            let m_buf = buf.time_ns[Category::DataMovement.index()];
+            let m_nb = nb.time_ns[Category::DataMovement.index()];
+            assert!(
+                m_buf < m_nb,
+                "{} {df}: buffered movement {m_buf} vs unbuffered {m_nb}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn acu_reduction_dominates_pim_only_reduction() {
+    // Section V-C: TransPIM spends 35.3× less time on reduction than the
+    // PIM-only system. We assert a large gap (>5×) on the small suite.
+    for w in small_suite() {
+        let t = simulate(ArchKind::TransPim, DataflowKind::Token, &w, 8).stats;
+        let p = simulate(ArchKind::OriginalPim, DataflowKind::Token, &w, 8).stats;
+        let rt = t.time_ns[Category::Reduction.index()];
+        let rp = p.time_ns[Category::Reduction.index()];
+        assert!(rp > 5.0 * rt, "{}: {rp} vs {rt}", w.name);
+    }
+}
+
+#[test]
+fn nbp_has_highest_utilization_but_loses_overall() {
+    // Section V-C: Token-NBP shows 89.5% utilization — busy, but slow.
+    let w = &small_suite()[0];
+    let nbp = simulate(ArchKind::Nbp, DataflowKind::Token, w, 8);
+    let tp = simulate(ArchKind::TransPim, DataflowKind::Token, w, 8);
+    assert!(nbp.utilization() > tp.utilization());
+    assert!(nbp.stats.latency_ns > tp.stats.latency_ns);
+}
+
+#[test]
+fn stack_scaling_helps_long_sequences_more() {
+    let speedup = |l: usize| {
+        let mut w = Workload::synthetic_pegasus(l);
+        w.model.encoder_layers = 2;
+        w.model.decoder_layers = 0;
+        w.decode_len = 0;
+        let one = simulate(ArchKind::TransPim, DataflowKind::Token, &w, 1).stats.latency_ns;
+        let eight = simulate(ArchKind::TransPim, DataflowKind::Token, &w, 8).stats.latency_ns;
+        one / eight
+    };
+    let short = speedup(256);
+    let long = speedup(16384);
+    assert!(long > short, "long {long} should scale better than short {short}");
+    assert!(long > 3.0, "long sequences should scale well, got {long}");
+}
+
+#[test]
+fn energy_breakdown_and_bandwidth_are_consistent() {
+    for w in small_suite() {
+        for (df, kind) in [(DataflowKind::Token, ArchKind::TransPim), (DataflowKind::Layer, ArchKind::Nbp)] {
+            let r = simulate(kind, df, &w, 8);
+            let time_sum: f64 = r.stats.time_ns.iter().sum();
+            assert!((time_sum - r.stats.latency_ns).abs() < 1e-6 * r.stats.latency_ns);
+            assert!(r.stats.total_energy_pj() > 0.0);
+            assert!(r.average_bandwidth_gbs() > 0.0);
+            assert!(r.average_bandwidth_gbs() < 100_000.0, "bandwidth insane: {}", r.average_bandwidth_gbs());
+            assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let w = &small_suite()[0];
+    let r = simulate(ArchKind::TransPim, DataflowKind::Token, w, 8);
+    let json = r.to_json().expect("serialize");
+    assert!(json.contains("Token-TransPIM"));
+    let back: SimReport = serde_json::from_str(&json).expect("roundtrip");
+    assert_eq!(back.system, r.system);
+}
+
+#[test]
+fn acu_design_knobs_trade_area_for_speed() {
+    let mut w = Workload::triviaqa();
+    w.model.encoder_layers = 2;
+    let lat = |p_sub: u32, p_add: u32| {
+        let arch = ArchConfig::new(ArchKind::TransPim).with_acu(p_sub, p_add);
+        Accelerator::new(arch).simulate(&w, DataflowKind::Token).stats.latency_ns
+    };
+    // More adder trees and more ACUs never hurt latency.
+    assert!(lat(16, 4) <= lat(16, 1));
+    assert!(lat(16, 4) <= lat(4, 4));
+    assert!(lat(64, 4) <= lat(16, 4));
+}
