@@ -124,11 +124,8 @@ impl AreaModel {
     pub fn adder_tree_share(&self) -> f64 {
         use table2::*;
         let at = ADDER_TREE_UM2 * self.sub_scale() * self.add_scale();
-        let total = at
-            + DIVIDER_UM2 * self.sub_scale()
-            + DATA_BUFFER_UM2
-            + RING_BROADCAST_UM2
-            + OTHERS_UM2;
+        let total =
+            at + DIVIDER_UM2 * self.sub_scale() + DATA_BUFFER_UM2 + RING_BROADCAST_UM2 + OTHERS_UM2;
         at / total
     }
 }
@@ -150,11 +147,7 @@ mod tests {
     fn p_sub_64_reaches_paper_dse_area() {
         // Figure 13(b): one ACU per subarray (P_sub = 64) costs ~15.8%.
         let m = AreaModel::new(64, 4);
-        assert!(
-            (m.overhead_fraction() - 0.158).abs() < 0.02,
-            "got {}",
-            m.overhead_fraction()
-        );
+        assert!((m.overhead_fraction() - 0.158).abs() < 0.02, "got {}", m.overhead_fraction());
         assert!(m.within_density_threshold());
     }
 

@@ -52,7 +52,11 @@ pub fn recip_q16(x: i64) -> i64 {
     }
 
     // Denormalize: 1/x = (1/m) · 2^{-e}.
-    if e >= 0 { y >> e } else { y << -e }
+    if e >= 0 {
+        y >> e
+    } else {
+        y << -e
+    }
 }
 
 /// Timing model of the divider: 3-stage pipeline at the ACU clock

@@ -32,4 +32,7 @@ pub use adder_tree::{AcuParams, AcuReduceModel};
 pub use area::AreaModel;
 pub use data_buffer::DataBufferModel;
 pub use divider::{recip_q16, DividerModel};
-pub use ring::{ring_step, schedule_hops, Hop, ScheduleResult, TransferCostModel};
+pub use ring::{
+    emit_hop_events, ring_step, schedule_hops, schedule_hops_placed, Hop, HopPlacement,
+    ScheduleResult, TransferCostModel,
+};

@@ -14,8 +14,10 @@
 use crate::data_buffer::DataBufferModel;
 use serde::{Deserialize, Serialize};
 use transpim_hbm::energy::EnergyParams;
+use transpim_hbm::engine::tracks;
 use transpim_hbm::geometry::{BankId, HbmGeometry};
 use transpim_hbm::resource::ResourceMap;
+use transpim_obs::{CounterEvent, SinkHandle, SpanEvent};
 
 /// One bank-to-bank transfer of `bytes`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,6 +81,25 @@ impl TransferCostModel {
     }
 }
 
+/// One hop as placed by the slotted scheduler: which slot it landed in and
+/// when it transfers, relative to the start of the scheduled set. Retained
+/// for trace emission — a Figure 9 schedule rendered from these placements
+/// shows the 3-slot (with links) vs 8-slot (without) structure directly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HopPlacement {
+    /// Source bank.
+    pub src: BankId,
+    /// Destination bank.
+    pub dst: BankId,
+    /// Slot index (0-based) the hop was placed in.
+    pub slot: u32,
+    /// Slot start time in nanoseconds.
+    pub start_ns: f64,
+    /// The hop's own transfer time in nanoseconds (its slot lasts at least
+    /// this long; the slot boundary is set by the slowest member).
+    pub dur_ns: f64,
+}
+
 /// Schedule `hops` into conflict-free time slots and return the makespan.
 ///
 /// Within a slot, no two hops may share a resource (banks, links, buses —
@@ -87,8 +108,18 @@ impl TransferCostModel {
 /// resources first, then intra-group hops interleaved so neighbor chains do
 /// not serialize through their shared endpoint banks.
 pub fn schedule_hops(map: &ResourceMap, xfer: &TransferCostModel, hops: &[Hop]) -> ScheduleResult {
+    schedule_hops_placed(map, xfer, hops).0
+}
+
+/// [`schedule_hops`] with the per-hop [`HopPlacement`]s retained, in the
+/// scheduler's placement order.
+pub fn schedule_hops_placed(
+    map: &ResourceMap,
+    xfer: &TransferCostModel,
+    hops: &[Hop],
+) -> (ScheduleResult, Vec<HopPlacement>) {
     if hops.is_empty() {
-        return ScheduleResult::default();
+        return (ScheduleResult::default(), Vec::new());
     }
     let bpg = map.geometry().banks_per_group;
     let mut order: Vec<usize> = (0..hops.len()).collect();
@@ -99,6 +130,7 @@ pub fn schedule_hops(map: &ResourceMap, xfer: &TransferCostModel, hops: &[Hop]) 
         (usize::MAX - routed[i].resources.len(), pos % 2, pos, h.src.0)
     });
 
+    let mut placements = Vec::with_capacity(hops.len());
     let mut remaining: Vec<usize> = order;
     let mut latency = 0.0;
     let mut slots = 0u32;
@@ -115,7 +147,15 @@ pub fn schedule_hops(map: &ResourceMap, xfer: &TransferCostModel, hops: &[Hop]) 
             for r in &route.resources {
                 used.insert(*r);
             }
-            slot_dur = slot_dur.max(route.transfer_ns(hops[i].bytes as f64));
+            let dur = route.transfer_ns(hops[i].bytes as f64);
+            slot_dur = slot_dur.max(dur);
+            placements.push(HopPlacement {
+                src: hops[i].src,
+                dst: hops[i].dst,
+                slot: slots,
+                start_ns: latency,
+                dur_ns: dur,
+            });
         }
         latency += slot_dur;
         slots += 1;
@@ -124,7 +164,55 @@ pub fn schedule_hops(map: &ResourceMap, xfer: &TransferCostModel, hops: &[Hop]) 
 
     let energy = hops.iter().map(|h| xfer.hop_energy_pj(h.bytes)).sum();
     let bytes = hops.iter().map(|h| h.bytes as f64).sum();
-    ScheduleResult { latency_ns: latency, energy_pj: energy, bytes, slots }
+    (ScheduleResult { latency_ns: latency, energy_pj: energy, bytes, slots }, placements)
+}
+
+/// Emit one span per placed hop to `sink`, on the source bank's resource
+/// track, offset to `base_ns` and stretched by `scale` (the engine's
+/// refresh factor, so hop spans nest inside their phase span). The Figure 9
+/// 3T-vs-8T schedule is directly visible from these events in a trace
+/// viewer: the `slot` argument and the span starts group hops into slots.
+pub fn emit_hop_events(
+    sink: &SinkHandle,
+    map: &ResourceMap,
+    base_ns: f64,
+    scale: f64,
+    placements: &[HopPlacement],
+) {
+    if !sink.is_enabled() {
+        return;
+    }
+    for p in placements {
+        sink.span(
+            SpanEvent::new(
+                format!("hop {}->{}", p.src.0, p.dst.0),
+                "ring",
+                tracks::resource(map.bank(p.src)),
+                base_ns + p.start_ns * scale,
+                p.dur_ns * scale,
+            )
+            .with_arg("slot", p.slot)
+            .with_arg("dst_bank", p.dst.0),
+        );
+    }
+    // Per-bank occupancy over this transfer set: the fraction of the
+    // makespan each source bank spends driving its link.
+    let makespan = placements.iter().map(|p| p.start_ns + p.dur_ns).fold(0.0, f64::max);
+    if makespan > 0.0 {
+        let mut busy: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+        for p in placements {
+            *busy.entry(p.src.0).or_default() += p.dur_ns;
+        }
+        for (bank, busy_ns) in busy {
+            sink.counter(CounterEvent::sample(
+                format!("util.bank{bank}"),
+                tracks::resource(map.bank(BankId(bank))),
+                base_ns,
+                "busy_frac",
+                busy_ns / makespan,
+            ));
+        }
+    }
 }
 
 /// Hops of one ring-broadcast step over `banks` (each bank sends `bytes` to
@@ -178,8 +266,7 @@ pub fn one_to_all_broadcast(
     let bus = map.bus();
     let channels: std::collections::BTreeSet<u32> =
         banks.iter().map(|&b| g.channel_of(b)).collect();
-    let stacks: std::collections::BTreeSet<u32> =
-        banks.iter().map(|&b| g.coord(b).stack).collect();
+    let stacks: std::collections::BTreeSet<u32> = banks.iter().map(|&b| g.coord(b).stack).collect();
     let b = bytes as f64;
     // Store-and-forward up the hierarchy, then one parallel fan-out level.
     let mut latency = b / bus.group_gbs + b / bus.channel_gbs;
@@ -222,8 +309,8 @@ pub fn replicate_in_bank(
             // Without the buffer each copy is an individual column write.
             let writes = f64::from(copies) * f64::from(value_bits.div_ceil(8));
             let ns = timing.t_rcd + writes * timing.t_ccd_l + timing.t_wr + timing.t_rp();
-            let pj = energy.e_act
-                + f64::from(copies) * f64::from(value_bits) * energy.e_pre_gsa * 2.0;
+            let pj =
+                energy.e_act + f64::from(copies) * f64::from(value_bits) * energy.e_pre_gsa * 2.0;
             (ns, pj)
         }
     }
@@ -245,7 +332,13 @@ mod tests {
     }
 
     fn uniform_bus() -> BusParams {
-        BusParams { channel_gbs: 16.0, group_gbs: 16.0, ring_link_gbs: 16.0, stack_gbs: 16.0, host_gbs: 16.0 }
+        BusParams {
+            channel_gbs: 16.0,
+            group_gbs: 16.0,
+            ring_link_gbs: 16.0,
+            stack_gbs: 16.0,
+            host_gbs: 16.0,
+        }
     }
 
     fn xfer(buffered: bool) -> TransferCostModel {
@@ -323,6 +416,50 @@ mod tests {
     }
 
     #[test]
+    fn figure9_placements_expose_the_3_slot_schedule() {
+        let g = fig9_geometry();
+        let map = ResourceMap::new(g, uniform_bus(), true);
+        let banks: Vec<BankId> = g.banks().collect();
+        let hops = ring_step_hops(&banks, 256);
+        let (r, placed) = schedule_hops_placed(&map, &xfer(true), &hops);
+        assert_eq!(placed.len(), 8, "every hop must be placed exactly once");
+        assert_eq!(placed.iter().map(|p| p.slot).max(), Some(2), "3 slots, 0-indexed");
+        for p in &placed {
+            assert!(p.dur_ns > 0.0);
+            assert!(p.start_ns + p.dur_ns <= r.latency_ns + 1e-9);
+        }
+        // Slot starts are non-decreasing in slot index.
+        let mut by_slot: Vec<_> = placed.to_vec();
+        by_slot.sort_by_key(|p| p.slot);
+        assert!(by_slot.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+    }
+
+    #[test]
+    fn emitted_hop_events_carry_slots_and_nest_in_the_phase() {
+        let g = fig9_geometry();
+        let map = ResourceMap::new(g, uniform_bus(), true);
+        let banks: Vec<BankId> = g.banks().collect();
+        let (r, placed) = schedule_hops_placed(&map, &xfer(true), &ring_step_hops(&banks, 256));
+        let chrome = transpim_obs::ChromeTraceSink::shared();
+        let sink = SinkHandle::from_shared(chrome.clone());
+        emit_hop_events(&sink, &map, 1000.0, 1.0, &placed);
+        let events = chrome.borrow().sorted_events();
+        let spans: Vec<_> = events.iter().filter(|e| e.ph == "X").collect();
+        assert_eq!(spans.len(), 8);
+        for e in &spans {
+            assert_eq!(e.cat, "ring");
+            assert!(e.ts >= 1.0); // µs, offset by base
+            assert!(e.ts + e.dur.unwrap() <= (1000.0 + r.latency_ns) / 1000.0 + 1e-9);
+            assert!(e.args.contains_key("slot"));
+        }
+        // Every source bank also samples its occupancy of the step.
+        let counters: Vec<_> = events.iter().filter(|e| e.ph == "C").collect();
+        assert_eq!(counters.len(), 8);
+        // Disabled sink: emission is a no-op.
+        emit_hop_events(&SinkHandle::null(), &map, 0.0, 1.0, &placed);
+    }
+
+    #[test]
     fn pairwise_reduction_halves_participants() {
         let banks: Vec<BankId> = (0..8).map(BankId).collect();
         assert_eq!(pairwise_reduce_hops(&banks, 1, 64).len(), 4);
@@ -352,6 +489,9 @@ mod tests {
         let buf = DataBufferModel::new(t, e);
         let (with_ns, _) = replicate_in_bank(Some(&buf), &t, &e, 16, 256);
         let (without_ns, _) = replicate_in_bank(None, &t, &e, 16, 256);
-        assert!(with_ns < without_ns, "buffer replication {with_ns} should beat column writes {without_ns}");
+        assert!(
+            with_ns < without_ns,
+            "buffer replication {with_ns} should beat column writes {without_ns}"
+        );
     }
 }

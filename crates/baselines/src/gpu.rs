@@ -144,16 +144,12 @@ impl PlatformModel {
         // (the big matmuls already saturate the device at batch 1 for long
         // sequences; for short ones the layer overhead amortizes).
         let batch_eff = 1.0 + 0.25 * (w.batch as f64 - 1.0); // sub-linear batching
-        let mut t =
-            enc_layers as f64 * self.encoder_layer_s(cfg, w.seq_len as u64) * batch_eff;
+        let mut t = enc_layers as f64 * self.encoder_layer_s(cfg, w.seq_len as u64) * batch_eff;
         if cfg.decoder_layers > 0 && w.decode_len > 0 {
             let ctx = if cfg.cross_attention { w.seq_len as u64 } else { 0 };
             for step in 0..w.decode_len as u64 {
-                let prefix = if cfg.cross_attention {
-                    step + 1
-                } else {
-                    w.seq_len as u64 + step + 1
-                };
+                let prefix =
+                    if cfg.cross_attention { step + 1 } else { w.seq_len as u64 + step + 1 };
                 t += self.decode_step_s(cfg, prefix, ctx) * w.batch as f64;
             }
         }

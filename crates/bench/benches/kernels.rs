@@ -37,9 +37,7 @@ fn bench_bitplane_alu(c: &mut Criterion) {
 fn bench_acu(c: &mut Criterion) {
     let mut g = c.benchmark_group("acu");
     let values: Vec<u64> = (0..4096).map(|i| (i * 2654435761u64) >> 40).collect();
-    g.bench_function("tree_reduce_4096", |b| {
-        b.iter(|| black_box(tree_reduce(black_box(&values))))
-    });
+    g.bench_function("tree_reduce_4096", |b| b.iter(|| black_box(tree_reduce(black_box(&values)))));
     g.bench_function("recip_q16", |b| {
         b.iter(|| {
             let mut acc = 0i64;

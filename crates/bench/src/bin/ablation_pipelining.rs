@@ -25,17 +25,19 @@ struct Row {
 
 fn main() {
     println!("Ablation: ring/compute pipelining (Pegasus encoder, Token-TransPIM)");
-    println!("{:>8} {:>12} {:>12} {:>8} {:>14}", "L", "barrier", "pipelined", "gain", "movement hidden");
+    println!(
+        "{:>8} {:>12} {:>12} {:>8} {:>14}",
+        "L", "barrier", "pipelined", "gain", "movement hidden"
+    );
     let mut rows = Vec::new();
     for l in [512usize, 2048, 8192, 32768] {
         let mut w = Workload::synthetic_pegasus(l);
         w.decode_len = 0;
-        let barrier = Accelerator::new(ArchConfig::new(ArchKind::TransPim))
-            .simulate(&w, DataflowKind::Token);
-        let pipelined = Accelerator::new(
-            ArchConfig::new(ArchKind::TransPim).with_pipelined_ring(true),
-        )
-        .simulate(&w, DataflowKind::Token);
+        let barrier =
+            Accelerator::new(ArchConfig::new(ArchKind::TransPim)).simulate(&w, DataflowKind::Token);
+        let pipelined =
+            Accelerator::new(ArchConfig::new(ArchKind::TransPim).with_pipelined_ring(true))
+                .simulate(&w, DataflowKind::Token);
         let mb = barrier.stats.time_ns[Category::DataMovement.index()];
         let mp = pipelined.stats.time_ns[Category::DataMovement.index()];
         let row = Row {

@@ -30,12 +30,7 @@ fn main() {
     let sharding = Sharding::new(2048, w.batch as u32, w.seq_len as u32);
 
     let run = |act_bits: u32, softmax_bits: u32| {
-        let p = Precision {
-            act_bits,
-            acc_bits: 2 * act_bits,
-            softmax_bits,
-            taylor_order: 5,
-        };
+        let p = Precision { act_bits, acc_bits: 2 * act_bits, softmax_bits, taylor_order: 5 };
         let prog = token_flow::compile_with(&w, &sharding, p);
         let mut ex = Executor::new(ArchConfig::new(ArchKind::TransPim));
         let (stats, _) = ex.run(&prog);
@@ -44,7 +39,10 @@ fn main() {
 
     let (base_ms, _) = run(8, 16);
     let mut rows = Vec::new();
-    println!("{:>10} {:>14} {:>12} {:>10} {:>10}", "act bits", "softmax bits", "latency", "energy", "speedup");
+    println!(
+        "{:>10} {:>14} {:>12} {:>10} {:>10}",
+        "act bits", "softmax bits", "latency", "energy", "speedup"
+    );
     for (a, s) in [(4u32, 8u32), (8, 8), (8, 16), (16, 16)] {
         let (ms, j) = run(a, s);
         let row = Row {
@@ -54,10 +52,7 @@ fn main() {
             energy_j: j,
             speedup_vs_8bit: base_ms / ms,
         };
-        println!(
-            "{:>10} {:>14} {:>9.1} ms {:>8.2} J {:>9.2}x",
-            a, s, ms, j, row.speedup_vs_8bit
-        );
+        println!("{:>10} {:>14} {:>9.1} ms {:>8.2} J {:>9.2}x", a, s, ms, j, row.speedup_vs_8bit);
         rows.push(row);
     }
     println!(

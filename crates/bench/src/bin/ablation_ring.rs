@@ -53,7 +53,12 @@ fn main() {
         };
         println!(
             "{:>8} {:>9.0} ns ({:>2}) {:>11.0} ns ({:>3}) {:>9.1}x",
-            banks, row.buffered_ns, row.buffered_slots, row.unbuffered_ns, row.unbuffered_slots, row.speedup
+            banks,
+            row.buffered_ns,
+            row.buffered_slots,
+            row.unbuffered_ns,
+            row.unbuffered_slots,
+            row.speedup
         );
         // The paper's Figure 9 example: 8 banks in 2 groups take 3 slots
         // buffered and 8 unbuffered.

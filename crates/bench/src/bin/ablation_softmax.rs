@@ -43,12 +43,7 @@ fn main() {
         let max_err = exact.max_abs_diff(&approx);
         let mean_err = {
             let n = (exact.rows() * exact.cols()) as f32;
-            exact
-                .as_slice()
-                .iter()
-                .zip(approx.as_slice())
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f32>()
+            exact.as_slice().iter().zip(approx.as_slice()).map(|(a, b)| (a - b).abs()).sum::<f32>()
                 / n
         };
         let op = PimOp::ExpTaylor { bits: 16, order };

@@ -38,7 +38,8 @@ fn main() {
             arch.pim.enforce_faw = true;
             Accelerator::new(arch).simulate(&w, DataflowKind::Token).latency_ms()
         };
-        let row = Row { p_sub, relaxed_ms: relaxed, enforced_ms: enforced, slowdown: enforced / relaxed };
+        let row =
+            Row { p_sub, relaxed_ms: relaxed, enforced_ms: enforced, slowdown: enforced / relaxed };
         println!(
             "{:>8} {:>9.1} ms {:>9.1} ms {:>9.2}x",
             p_sub, row.relaxed_ms, row.enforced_ms, row.slowdown

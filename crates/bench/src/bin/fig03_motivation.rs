@@ -38,7 +38,10 @@ fn main() {
     let lengths = [128usize, 512, 1024, 2048];
 
     println!("Figure 3(a): Layer-OriginalPIM latency breakdown, RoBERTa classification");
-    println!("{:>8} {:>14} {:>12} {:>11} {:>8}", "L", "movement", "arithmetic", "reduction", "other");
+    println!(
+        "{:>8} {:>14} {:>12} {:>11} {:>8}",
+        "L", "movement", "arithmetic", "reduction", "other"
+    );
     let mut breakdown = Vec::new();
     for &l in &lengths {
         let mut w = Workload::synthetic_roberta(l);

@@ -9,7 +9,7 @@
 
 use serde::Serialize;
 use transpim::report::DataflowKind;
-use transpim_bench::{all_systems, run_system, write_json};
+use transpim_bench::{all_systems, run_system, run_system_observed, write_json, ObsSession};
 use transpim_hbm::stats::Category;
 use transpim_transformer::workload::Workload;
 
@@ -36,12 +36,17 @@ struct LayerRow {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = ObsSession::extract(&mut args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let mut rows = Vec::new();
     println!("Figure 11(a): operation breakdown per system");
     for w in [Workload::imdb(), Workload::pubmed(), Workload::lm()] {
         transpim_bench::rule(96);
         for (df, kind) in all_systems() {
-            let r = run_system(kind, df, &w, 8);
+            let r = run_system_observed(kind, df, &w, 8, obs.sink());
             let row = SystemRow {
                 workload: w.name.clone(),
                 system: r.system.clone(),
@@ -98,12 +103,7 @@ fn main() {
     println!("Figure 11(b): layer-wise breakdown (normalized to Token-TransPIM total)");
     let mut layer_rows = Vec::new();
     for w in [Workload::pubmed(), Workload::synthetic_pegasus(32 * 1024)] {
-        let base = run_system(
-            transpim::arch::ArchKind::TransPim,
-            DataflowKind::Token,
-            &w,
-            8,
-        );
+        let base = run_system(transpim::arch::ArchKind::TransPim, DataflowKind::Token, &w, 8);
         let base_total = base.stats.latency_ns;
         transpim_bench::rule(96);
         for (df, kind) in all_systems() {
@@ -132,4 +132,5 @@ fn main() {
 
     write_json("fig11_breakdown", &rows);
     write_json("fig11_layerwise", &layer_rows);
+    obs.finish();
 }

@@ -6,11 +6,13 @@
 //! cargo run --release -p transpim-bench --bin sweep > sweep.csv
 //! cargo run --release -p transpim-bench --bin sweep -- --model roberta \
 //!     --lengths 128,512,2048 --stacks 1,8 > sweep.csv
+//! # Aggregated observability metrics for the whole grid:
+//! cargo run --release -p transpim-bench --bin sweep -- --metrics sweep-metrics.csv
 //! ```
 
 use transpim::arch::ArchKind;
 use transpim::report::DataflowKind;
-use transpim_bench::run_system;
+use transpim_bench::{note, run_system_observed, ObsSession};
 use transpim_transformer::workload::Workload;
 
 struct Grid {
@@ -20,11 +22,8 @@ struct Grid {
 }
 
 fn parse(args: &[String]) -> Result<Grid, String> {
-    let mut g = Grid {
-        model: "pegasus".into(),
-        lengths: vec![512, 2048, 8192],
-        stacks: vec![1, 8],
-    };
+    let mut g =
+        Grid { model: "pegasus".into(), lengths: vec![512, 2048, 8192], stacks: vec![1, 8] };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = || it.next().cloned().ok_or_else(|| format!("{a} needs a value"));
@@ -52,11 +51,22 @@ fn parse(args: &[String]) -> Result<Grid, String> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: sweep [--model roberta|pegasus] [--lengths a,b,c] [--stacks a,b] \
+                 [--trace t.json] [--metrics m.json|m.csv]";
+    let obs = match ObsSession::extract(&mut args) {
+        Ok(o) => o,
+        Err(e) => {
+            note(format!("error: {e}"));
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
     let grid = match parse(&args) {
         Ok(g) => g,
         Err(e) => {
-            eprintln!("error: {e}\nusage: sweep [--model roberta|pegasus] [--lengths a,b,c] [--stacks a,b]");
+            note(format!("error: {e}"));
+            eprintln!("{usage}");
             std::process::exit(2);
         }
     };
@@ -74,7 +84,7 @@ fn main() {
         for &stacks in &grid.stacks {
             for kind in ArchKind::ALL {
                 for df in DataflowKind::ALL {
-                    let r = run_system(kind, df, &workload, stacks);
+                    let r = run_system_observed(kind, df, &workload, stacks, obs.sink());
                     println!(
                         "{},{},{},{},{},{:.3},{:.1},{:.2},{:.2},{:.1},{:.4},{:.4}",
                         grid.model,
@@ -94,4 +104,5 @@ fn main() {
             }
         }
     }
+    obs.finish();
 }

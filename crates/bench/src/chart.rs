@@ -11,11 +11,7 @@ pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
     let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     for (label, value) in rows {
-        let cells = if max > 0.0 {
-            ((value / max) * width as f64).round() as usize
-        } else {
-            0
-        };
+        let cells = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
         out.push_str(&format!(
             "  {label:<label_w$} |{}{} {value:.2}\n",
             "#".repeat(cells),

@@ -3,13 +3,22 @@
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
 //! (see DESIGN.md §4 for the index), printing the same rows/series the
 //! paper reports and writing a JSON dump alongside for EXPERIMENTS.md.
+//!
+//! Observability: every binary that routes its simulations through
+//! [`ObsSession`] accepts `--trace <PATH>` (Chrome-tracing timeline) and
+//! `--metrics <PATH>` (flat JSON/CSV aggregates) without any per-binary
+//! flag handling. Diagnostics that are not table output go through
+//! [`note`]; set `TRANSPIM_BENCH_QUIET=1` to silence them in scripts.
 
 pub mod chart;
 
+use std::cell::RefCell;
 use std::path::Path;
+use std::rc::Rc;
 use transpim::accelerator::Accelerator;
 use transpim::arch::{ArchConfig, ArchKind};
 use transpim::report::{DataflowKind, SimReport};
+use transpim::{ChromeTraceSink, FanoutSink, MetricsSink, SinkHandle};
 use transpim_transformer::workload::Workload;
 
 /// Simulate one `dataflow`-`arch` system on `workload` with `stacks` HBM
@@ -20,8 +29,20 @@ pub fn run_system(
     workload: &Workload,
     stacks: u32,
 ) -> SimReport {
+    run_system_observed(kind, dataflow, workload, stacks, SinkHandle::null())
+}
+
+/// [`run_system`] with an observability sink attached to the execution.
+/// A [`SinkHandle::null`] sink makes this identical to [`run_system`].
+pub fn run_system_observed(
+    kind: ArchKind,
+    dataflow: DataflowKind,
+    workload: &Workload,
+    stacks: u32,
+    sink: SinkHandle,
+) -> SimReport {
     let arch = ArchConfig::new(kind).with_stacks(stacks);
-    Accelerator::new(arch).simulate(workload, dataflow)
+    Accelerator::new(arch).simulate_with_sink(workload, dataflow, sink)
 }
 
 /// All eight memory-based systems of Figure 10, in the paper's order.
@@ -33,6 +54,16 @@ pub fn all_systems() -> Vec<(DataflowKind, ArchKind)> {
         }
     }
     v
+}
+
+/// Print a harness diagnostic to stderr, bracketed so it is visually
+/// distinct from table output. Every non-table diagnostic of the bench
+/// binaries goes through here — set `TRANSPIM_BENCH_QUIET=1` to silence
+/// them all (e.g. when piping a binary's stdout *and* stderr to a file).
+pub fn note(msg: impl AsRef<str>) {
+    if std::env::var_os("TRANSPIM_BENCH_QUIET").is_none() {
+        eprintln!("[{}]", msg.as_ref());
+    }
 }
 
 /// Write a serializable value as pretty JSON next to the binaries.
@@ -47,10 +78,90 @@ pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize");
     std::fs::write(&path, json).expect("write results file");
-    eprintln!("[results written to {}]", path.display());
+    note(format!("results written to {}", path.display()));
 }
 
 /// Pretty horizontal rule for table output.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
+}
+
+/// Observability options shared by the bench binaries.
+///
+/// [`ObsSession::extract`] pulls `--trace <PATH>` and `--metrics <PATH>`
+/// out of an argument vector; [`ObsSession::sink`] hands the attached
+/// sinks to each simulation; [`ObsSession::finish`] writes the collected
+/// artifacts. With neither flag present every call is a no-op on a null
+/// sink.
+#[derive(Debug, Default)]
+pub struct ObsSession {
+    trace: Option<(String, Rc<RefCell<ChromeTraceSink>>)>,
+    metrics: Option<(String, Rc<RefCell<MetricsSink>>)>,
+}
+
+impl ObsSession {
+    /// Remove `--trace <PATH>` / `--metrics <PATH>` from `args` and build
+    /// the corresponding session. Unrelated arguments are left in place
+    /// for the binary's own parser.
+    pub fn extract(args: &mut Vec<String>) -> Result<Self, String> {
+        let mut session = Self::default();
+        let mut take = |flag: &str| -> Result<Option<String>, String> {
+            match args.iter().position(|a| a == flag) {
+                None => Ok(None),
+                Some(i) if i + 1 < args.len() => {
+                    args.remove(i);
+                    Ok(Some(args.remove(i)))
+                }
+                Some(_) => Err(format!("{flag} requires a value")),
+            }
+        };
+        if let Some(path) = take("--trace")? {
+            session.trace = Some((path, ChromeTraceSink::shared()));
+        }
+        if let Some(path) = take("--metrics")? {
+            session.metrics = Some((path, MetricsSink::shared()));
+        }
+        Ok(session)
+    }
+
+    /// The sink handle to attach to a simulation — null when no
+    /// observability output was requested.
+    pub fn sink(&self) -> SinkHandle {
+        let mut handles: Vec<SinkHandle> = Vec::new();
+        if let Some((_, c)) = &self.trace {
+            handles.push(SinkHandle::from_shared(c.clone()));
+        }
+        if let Some((_, m)) = &self.metrics {
+            handles.push(SinkHandle::from_shared(m.clone()));
+        }
+        match handles.len() {
+            0 => SinkHandle::null(),
+            1 => handles.pop().expect("one handle"),
+            _ => SinkHandle::new(FanoutSink::new(handles)),
+        }
+    }
+
+    /// Record a scalar alongside the span/counter aggregates (no-op
+    /// without `--metrics`).
+    pub fn push_metric(&self, key: impl Into<String>, value: f64) {
+        if let Some((_, m)) = &self.metrics {
+            m.borrow_mut().push_metric(key, value);
+        }
+    }
+
+    /// Write the requested artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O or serialization failure, like [`write_json`].
+    pub fn finish(&self) {
+        if let Some((path, c)) = &self.trace {
+            c.borrow().write_to(path).expect("write trace file");
+            note(format!("trace written to {path} — open in chrome://tracing or Perfetto"));
+        }
+        if let Some((path, m)) = &self.metrics {
+            m.borrow().write_to(path).expect("write metrics file");
+            note(format!("metrics written to {path}"));
+        }
+    }
 }

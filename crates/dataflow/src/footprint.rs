@@ -66,10 +66,7 @@ pub fn token_flow_footprint(
 
     // Largest single layer's weights (encoder block or decoder block).
     let enc_w = (4 * d * d + 2 * d * dff) * act_b;
-    let dec_w = (4 * d * d
-        + if cfg.cross_attention { 4 * d * d } else { 0 }
-        + 2 * d * dff)
-        * act_b;
+    let dec_w = (4 * d * d + if cfg.cross_attention { 4 * d * d } else { 0 } + 2 * d * dff) * act_b;
     let weights = enc_w.max(if cfg.decoder_layers > 0 { dec_w } else { 0 });
 
     // x, Q, K, V, O rows (5 × r×D) with 3 operand replicas on the hot one,
@@ -91,9 +88,7 @@ pub fn token_flow_footprint(
 /// `bank_bytes` when sharded over `banks` banks (binary search; 0 if even
 /// one token does not fit).
 pub fn max_seq_len(cfg: &ModelConfig, banks: u64, bank_bytes: u64, p: Precision) -> u64 {
-    let fits = |l: u64| {
-        l > 0 && token_flow_footprint(cfg, l, 0, banks, p).fits(bank_bytes)
-    };
+    let fits = |l: u64| l > 0 && token_flow_footprint(cfg, l, 0, banks, p).fits(bank_bytes);
     if !fits(1) {
         return 0;
     }
@@ -131,7 +126,12 @@ mod tests {
     #[test]
     fn scores_dominate_and_break_at_very_long_sequences() {
         let f64k = token_flow_footprint(&pegasus(), 64 * 1024, 0, 2048, Precision::default());
-        assert!(f64k.scores > f64k.weights, "64K: scores {} vs weights {}", f64k.scores, f64k.weights);
+        assert!(
+            f64k.scores > f64k.weights,
+            "64K: scores {} vs weights {}",
+            f64k.scores,
+            f64k.weights
+        );
         assert!(!f64k.fits(BANK), "64K over 2048 banks should not fit");
     }
 

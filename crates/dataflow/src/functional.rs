@@ -18,10 +18,7 @@ use transpim_transformer::Matrix as M;
 pub fn shard_rows(l: usize, n: usize) -> Vec<(usize, usize)> {
     assert!(n >= 1, "need at least one shard");
     let r = l.div_ceil(n);
-    (0..n)
-        .map(|i| (i * r, ((i + 1) * r).min(l)))
-        .filter(|(lo, hi)| lo < hi)
-        .collect()
+    (0..n).map(|i| (i * r, ((i + 1) * r).min(l))).filter(|(lo, hi)| lo < hi).collect()
 }
 
 /// One encoder layer executed shard-wise with ring broadcasts (Figure 4).
@@ -233,11 +230,9 @@ pub fn attention_distributed(
 
         // Exact softmax needs the global max first (tree max-reduce).
         let max = match kind {
-            SoftmaxKind::Exact => scores
-                .iter()
-                .flatten()
-                .copied()
-                .fold(f32::NEG_INFINITY, f32::max),
+            SoftmaxKind::Exact => {
+                scores.iter().flatten().copied().fold(f32::NEG_INFINITY, f32::max)
+            }
             SoftmaxKind::HardwareTaylor => 0.0,
         };
 
@@ -255,10 +250,8 @@ pub fn attention_distributed(
                     .collect()
             })
             .collect();
-        let partial_sums: Vec<Matrix> = exps
-            .iter()
-            .map(|e| Matrix::from_vec(1, 1, vec![e.iter().sum::<f32>()]))
-            .collect();
+        let partial_sums: Vec<Matrix> =
+            exps.iter().map(|e| Matrix::from_vec(1, 1, vec![e.iter().sum::<f32>()])).collect();
         let denom = tree_combine(partial_sums)[(0, 0)];
         let recip = if denom > 0.0 { 1.0 / denom } else { 0.0 };
 

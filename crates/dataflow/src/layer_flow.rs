@@ -68,10 +68,8 @@ pub fn encoder_layer_loaded_bytes(
     let fc = 3 * l * d * act_b + 3 * d * d * act_b;
     // Q scatter + K and V duplicated into every active bank + the score
     // matrix written, reloaded for Softmax, and reloaded again.
-    let attn = l * d * act_b
-        + 2 * l * d * act_b * active_banks
-        + 3 * h * l * l * sm_b
-        + d * d * act_b;
+    let attn =
+        l * d * act_b + 2 * l * d * act_b * active_banks + 3 * h * l * l * sm_b + d * d * act_b;
     let softmax = 2 * h * l * l * sm_b;
     let ffn = l * d * act_b + 2 * d * dff * act_b + l * dff * act_b;
     [("fc", fc), ("attention", attn), ("softmax", softmax), ("ffn", ffn)]
@@ -111,7 +109,10 @@ fn encoder_layer(
         vectors_per_bank: per_bank(3 * l * d * b),
         total_vectors: 3 * l * d * b,
     });
-    prog.push(Step::MemTouch { bytes_per_bank: per_bank(3 * l * d * act_b * b), total_bytes: 3 * l * d * act_b * b });
+    prog.push(Step::MemTouch {
+        bytes_per_bank: per_bank(3 * l * d * act_b * b),
+        total_bytes: 3 * l * d * act_b * b,
+    });
 
     // ---- Attention scores: Q scattered to the banks owning score rows,
     // K duplicated into every one of them.
@@ -131,7 +132,10 @@ fn encoder_layer(
         total_vectors: l * l * h * b,
     });
     // Score matrix written out for the Softmax stage.
-    prog.push(Step::MemTouch { bytes_per_bank: per_bank(h * l * l * sm_b * b), total_bytes: h * l * l * sm_b * b });
+    prog.push(Step::MemTouch {
+        bytes_per_bank: per_bank(h * l * l * sm_b * b),
+        total_bytes: h * l * l * sm_b * b,
+    });
 
     // ---- Softmax: scores reloaded and redistributed row-wise, then
     // written back — the quadratic reload of Figure 3(b).
@@ -192,7 +196,11 @@ fn encoder_layer(
         vectors_per_bank: per_bank(l * d * b),
         total_vectors: l * d * b,
     });
-    prog.push(Step::PointwiseAdd { elems_per_bank: per_bank(l * d * b), total_elems: l * d * b, bits: p.act_bits });
+    prog.push(Step::PointwiseAdd {
+        elems_per_bank: per_bank(l * d * b),
+        total_elems: l * d * b,
+        bits: p.act_bits,
+    });
 
     // ---- FFN: attention output reloaded, weights broadcast.
     prog.push(Step::scope("enc.ffn"));
@@ -222,8 +230,15 @@ fn encoder_layer(
         vectors_per_bank: per_bank(l * d * b),
         total_vectors: l * d * b,
     });
-    prog.push(Step::PointwiseAdd { elems_per_bank: per_bank(l * d * b), total_elems: l * d * b, bits: p.act_bits });
-    prog.push(Step::MemTouch { bytes_per_bank: per_bank(l * d * act_b * b), total_bytes: l * d * act_b * b });
+    prog.push(Step::PointwiseAdd {
+        elems_per_bank: per_bank(l * d * b),
+        total_elems: l * d * b,
+        bits: p.act_bits,
+    });
+    prog.push(Step::MemTouch {
+        bytes_per_bank: per_bank(l * d * act_b * b),
+        total_bytes: l * d * act_b * b,
+    });
 }
 
 fn decoder_step_layer(
@@ -250,10 +265,8 @@ fn decoder_step_layer(
     // *scattered* (each bank holds only its output columns) and re-streamed
     // every step, while the new token's state is duplicated to every bank.
     prog.push(Step::scope("dec.fc"));
-    let weight_bytes = (4 * d * d
-        + if cfg.cross_attention { 4 * d * d } else { 0 }
-        + 2 * d * dff)
-        * act_b;
+    let weight_bytes =
+        (4 * d * d + if cfg.cross_attention { 4 * d * d } else { 0 } + 2 * d * dff) * act_b;
     prog.push(Step::HostScatter { total_bytes: weight_bytes });
     prog.push(Step::ShuffleAll { total_bytes: (2 * ctx * d * act_b + d * act_b) * b });
     prog.push(Step::PointwiseMul {
@@ -356,7 +369,10 @@ fn decoder_step_layer(
         vectors_per_bank: per_bank(2 * dff * b),
         total_vectors: 2 * dff * b,
     });
-    prog.push(Step::MemTouch { bytes_per_bank: per_bank(d * act_b * b), total_bytes: d * act_b * b });
+    prog.push(Step::MemTouch {
+        bytes_per_bank: per_bank(d * act_b * b),
+        total_bytes: d * act_b * b,
+    });
 }
 
 #[cfg(test)]

@@ -73,7 +73,7 @@ pub fn encoder_layer_layerflow(
 ) -> Matrix {
     let l = x.rows();
     let d = x.cols();
-    assert!(heads >= 1 && d % heads == 0, "bad head split");
+    assert!(heads >= 1 && d.is_multiple_of(heads), "bad head split");
     let dh = d / heads;
     let scale = 1.0 / (dh as f32).sqrt();
     let mut mem = SharedIntermediate::new();

@@ -33,5 +33,5 @@ pub mod sharding;
 pub mod token_flow;
 
 pub use ir::{BankRange, Program, Step};
-pub use token_flow::DecoderPlacement;
 pub use sharding::Sharding;
+pub use token_flow::DecoderPlacement;

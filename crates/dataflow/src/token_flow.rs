@@ -36,8 +36,7 @@ pub enum DecoderPlacement {
 /// Compile `workload` for a system with `total_banks` banks using the
 /// default (paper) precision.
 pub fn compile(workload: &Workload, total_banks: u32) -> Program {
-    let sharding =
-        Sharding::new(total_banks, workload.batch as u32, workload.seq_len as u32);
+    let sharding = Sharding::new(total_banks, workload.batch as u32, workload.seq_len as u32);
     compile_with(workload, &sharding, Precision::default())
 }
 
@@ -80,14 +79,22 @@ pub fn compile_full(
         // Decoder weights are resident: scatter the slices once.
         prog.push(Step::scope("load.weights"));
         prog.push(Step::HostScatter {
-            total_bytes: cfg.decoder_layers as u64 * cfg.decoder_layer_params()
+            total_bytes: cfg.decoder_layers as u64
+                * cfg.decoder_layer_params()
                 * u64::from(p.act_bits)
                 / 8,
         });
         for t in 0..workload.decode_len as u64 {
             for _ in 0..cfg.decoder_layers {
                 decoder_step_layer(
-                    &mut prog, cfg, shard.banks, shard.seq_len, t, batch, p, placement,
+                    &mut prog,
+                    cfg,
+                    shard.banks,
+                    shard.seq_len,
+                    t,
+                    batch,
+                    p,
+                    placement,
                 );
             }
         }
@@ -139,7 +146,10 @@ fn encoder_layer(
         vectors_per_bank: 3 * r * d,
         total_vectors: 3 * l * d * b,
     });
-    prog.push(Step::MemTouch { bytes_per_bank: 3 * r * d * act_b, total_bytes: 3 * l * d * act_b * b });
+    prog.push(Step::MemTouch {
+        bytes_per_bank: 3 * r * d * act_b,
+        total_bytes: 3 * l * d * act_b * b,
+    });
 
     // ---- Attention scores: intra-shard block plus N−1 ring steps with K.
     prog.push(Step::scope("enc.attn"));
@@ -231,7 +241,11 @@ fn encoder_layer(
         vectors_per_bank: r * d,
         total_vectors: l * d * b,
     });
-    prog.push(Step::PointwiseAdd { elems_per_bank: r * d, total_elems: l * d * b, bits: p.act_bits });
+    prog.push(Step::PointwiseAdd {
+        elems_per_bank: r * d,
+        total_elems: l * d * b,
+        bits: p.act_bits,
+    });
 
     // ---- FFN: two local matmuls with broadcast weights.
     prog.push(Step::scope("enc.ffn"));
@@ -260,7 +274,11 @@ fn encoder_layer(
         vectors_per_bank: r * d,
         total_vectors: l * d * b,
     });
-    prog.push(Step::PointwiseAdd { elems_per_bank: r * d, total_elems: l * d * b, bits: p.act_bits });
+    prog.push(Step::PointwiseAdd {
+        elems_per_bank: r * d,
+        total_elems: l * d * b,
+        bits: p.act_bits,
+    });
     prog.push(Step::MemTouch { bytes_per_bank: r * d * act_b, total_bytes: l * d * act_b * b });
 }
 
@@ -423,11 +441,7 @@ mod tests {
         let prog = compile(&w, 2048);
         // 12 layers, each with 2 ring broadcasts (batched IMDB shards span
         // 128 banks each).
-        let rings = prog
-            .steps
-            .iter()
-            .filter(|s| matches!(s, Step::RingBroadcast { .. }))
-            .count();
+        let rings = prog.steps.iter().filter(|s| matches!(s, Step::RingBroadcast { .. })).count();
         assert_eq!(rings, 24);
         assert!(prog.host_bytes() > 0);
     }
@@ -449,11 +463,8 @@ mod tests {
         let mut w = Workload::pubmed();
         w.decode_len = 2; // keep the program small
         let prog = compile(&w, 256);
-        let trees = prog
-            .steps
-            .iter()
-            .filter(|s| matches!(s, Step::PairwiseReduceTree { .. }))
-            .count();
+        let trees =
+            prog.steps.iter().filter(|s| matches!(s, Step::PairwiseReduceTree { .. })).count();
         // 2 trees (softmax sum + output) × 16 layers × 2 steps.
         assert_eq!(trees, 2 * 16 * 2);
     }
@@ -493,8 +504,7 @@ mod tests {
         let sharding = Sharding::new(256, 1, 256);
         let balanced =
             compile_full(&w, &sharding, Precision::default(), DecoderPlacement::Balanced);
-        let last =
-            compile_full(&w, &sharding, Precision::default(), DecoderPlacement::LastBank);
+        let last = compile_full(&w, &sharding, Precision::default(), DecoderPlacement::LastBank);
         // The busiest bank's attention lanes grow linearly under LastBank,
         // so the summed per-bank exponent work (critical path) inflates.
         let sum_attn = |p: &Program| -> u64 {
@@ -514,11 +524,8 @@ mod tests {
         let mut w = Workload::lm();
         w.decode_len = 0;
         let prog = compile(&w, 2048);
-        let fc_scopes = prog
-            .steps
-            .iter()
-            .filter(|s| matches!(s, Step::Scope(l) if l == "enc.fc"))
-            .count();
+        let fc_scopes =
+            prog.steps.iter().filter(|s| matches!(s, Step::Scope(l) if l == "enc.fc")).count();
         assert_eq!(fc_scopes, 24, "prefill passes through all 24 GPT-2 blocks");
     }
 }

@@ -18,8 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.geometry.stacks, 2);
 /// assert_eq!(cfg.geometry.capacity_bytes(), 16 << 30);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct HbmConfig {
     /// Physical organization.
     pub geometry: HbmGeometry,
@@ -30,7 +29,6 @@ pub struct HbmConfig {
     /// Bus and link bandwidths.
     pub bus: BusParams,
 }
-
 
 impl HbmConfig {
     /// Start building a configuration from the Table I defaults.
@@ -49,7 +47,8 @@ impl HbmConfig {
     /// Aggregated external bandwidth of the system in GB/s
     /// (`8 stacks × 256 GB/s = 2 TB/s` in Section V-C).
     pub fn aggregated_bandwidth_gbs(&self) -> f64 {
-        f64::from(self.geometry.stacks) * f64::from(self.geometry.channels_per_stack)
+        f64::from(self.geometry.stacks)
+            * f64::from(self.geometry.channels_per_stack)
             * self.bus.channel_gbs
     }
 }

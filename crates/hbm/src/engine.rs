@@ -7,10 +7,20 @@
 //! step-synchronous structure of the paper's dataflow (Section III). Each
 //! phase is attributed to one breakdown [`Category`], which is how the
 //! Figure 11 breakdowns are produced.
+//!
+//! # Observability
+//!
+//! The engine carries a [`SinkHandle`] (`transpim-obs`). With an enabled
+//! sink attached, every phase is emitted as a span on its category's track,
+//! and [`Phase::Scheduled`] phases additionally emit per-op spans and
+//! per-[`ResourceId`] occupancy counters on the resource tracks of
+//! [`tracks`]. With the default (null) handle, the emission paths are never
+//! entered and the engine behaves exactly as an uninstrumented one.
 
 use crate::resource::ResourceId;
 use crate::stats::{Category, ScopedStats, SimStats};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use transpim_obs::{CounterEvent, SinkHandle, SpanEvent};
 
 /// One operation inside a [`Phase::Scheduled`] phase: it occupies every
 /// listed resource for `latency_ns`, consumes `energy_pj`, and moves `bytes`
@@ -62,6 +72,32 @@ impl Phase {
     }
 }
 
+/// Track layout of the simulator's trace emission. Keeping the layout in
+/// one place means every emitter (the phase engine, the ring scheduler in
+/// `transpim-acu`, the executor in `transpim`) lands on consistent
+/// timeline rows in a trace viewer.
+pub mod tracks {
+    use crate::resource::ResourceId;
+    use crate::stats::Category;
+    use transpim_obs::TrackId;
+
+    /// Row shared by all ring-broadcast hop events.
+    pub const RING: TrackId = TrackId(16);
+
+    /// First row of the per-resource occupancy range.
+    pub const RESOURCE_BASE: u64 = 64;
+
+    /// Row of one breakdown category's phase spans.
+    pub fn category(c: Category) -> TrackId {
+        TrackId(1 + c.index() as u64)
+    }
+
+    /// Row of one contended resource's occupancy timeline.
+    pub fn resource(r: ResourceId) -> TrackId {
+        TrackId(RESOURCE_BASE + u64::from(r.0))
+    }
+}
+
 /// Greedy list scheduler: returns the makespan of `ops` run under resource
 /// contention. Each op starts at the earliest time all of its resources are
 /// free (ops are considered in order), which reproduces the Figure 9 ring
@@ -84,19 +120,45 @@ pub fn schedule_makespan(ops: &[PhaseOp]) -> f64 {
     makespan
 }
 
-/// One recorded phase on the simulated timeline (for trace export).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct PhaseEvent {
-    /// Scope label active when the phase ran.
-    pub scope: String,
-    /// Breakdown category.
-    pub category: Category,
-    /// Start time (ns since simulation start).
+/// Start/end of one op as placed by the greedy list scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpPlacement {
+    /// Start time relative to the phase start (ns).
     pub start_ns: f64,
-    /// Duration (ns).
-    pub dur_ns: f64,
-    /// Energy (pJ).
-    pub energy_pj: f64,
+    /// End time relative to the phase start (ns).
+    pub end_ns: f64,
+}
+
+/// Full placement of a scheduled phase: the makespan plus one
+/// [`OpPlacement`] per op, in issue order. Same schedule as
+/// [`schedule_makespan`], with the per-op timeline retained for trace
+/// emission.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchedulePlacements {
+    /// Phase makespan in nanoseconds.
+    pub makespan_ns: f64,
+    /// Per-op start/end, parallel to the input op slice.
+    pub ops: Vec<OpPlacement>,
+}
+
+/// Greedy list scheduling with the per-op placements retained.
+pub fn schedule_placements(ops: &[PhaseOp]) -> SchedulePlacements {
+    let mut free_at: HashMap<ResourceId, f64> = HashMap::new();
+    let mut placed = SchedulePlacements { makespan_ns: 0.0, ops: Vec::with_capacity(ops.len()) };
+    for op in ops {
+        let start = op
+            .resources
+            .iter()
+            .map(|r| free_at.get(r).copied().unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+        let end = start + op.latency_ns;
+        for r in &op.resources {
+            free_at.insert(*r, end);
+        }
+        placed.ops.push(OpPlacement { start_ns: start, end_ns: end });
+        placed.makespan_ns = placed.makespan_ns.max(end);
+    }
+    placed
 }
 
 /// The phase engine: runs phases, advances simulated time, and accumulates
@@ -119,8 +181,10 @@ pub struct Engine {
     stats: SimStats,
     scoped: ScopedStats,
     scope: String,
-    timeline: Option<Vec<PhaseEvent>>,
+    sink: SinkHandle,
     latency_scale: f64,
+    tracks_named: bool,
+    named_resources: HashSet<u32>,
 }
 
 impl Default for Engine {
@@ -130,15 +194,44 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// New engine at time zero.
+    /// New engine at time zero, with the null (disabled) sink.
     pub fn new() -> Self {
         Self {
             stats: SimStats::new(),
             scoped: ScopedStats::new(),
             scope: String::from("init"),
-            timeline: None,
+            sink: SinkHandle::null(),
             latency_scale: 1.0,
+            tracks_named: false,
+            named_resources: HashSet::new(),
         }
+    }
+
+    /// New engine that emits every phase (and, for scheduled phases, per-op
+    /// and per-resource occupancy events) to `sink`.
+    pub fn with_sink(sink: SinkHandle) -> Self {
+        Self { sink, ..Self::new() }
+    }
+
+    /// Attach (or replace) the observability sink.
+    pub fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
+    }
+
+    /// The attached sink handle (the null handle when tracing is off).
+    pub fn sink(&self) -> &SinkHandle {
+        &self.sink
+    }
+
+    /// Current simulated time: nanoseconds elapsed since the engine
+    /// started. The next phase's span starts here.
+    pub fn now_ns(&self) -> f64 {
+        self.stats.latency_ns
+    }
+
+    /// The latency stretch applied to every phase (≥ 1; refresh model).
+    pub fn latency_scale(&self) -> f64 {
+        self.latency_scale
     }
 
     /// Stretch every phase's latency by `scale` (≥ 1): used to model
@@ -153,43 +246,6 @@ impl Engine {
         self.latency_scale = scale;
     }
 
-    /// New engine that additionally records every phase on a timeline
-    /// (exportable as a Chrome trace; costs memory proportional to the
-    /// phase count).
-    pub fn with_timeline() -> Self {
-        Self { timeline: Some(Vec::new()), ..Self::new() }
-    }
-
-    /// The recorded timeline, if enabled.
-    pub fn timeline(&self) -> Option<&[PhaseEvent]> {
-        self.timeline.as_deref()
-    }
-
-    /// Render the recorded timeline as a Chrome-tracing ("chrome://tracing"
-    /// / Perfetto) JSON document. Returns `None` when the timeline was not
-    /// enabled. Durations are exported in microseconds on one track per
-    /// category.
-    pub fn chrome_trace(&self) -> Option<String> {
-        let events = self.timeline.as_ref()?;
-        let mut out = String::from("[");
-        for (i, e) in events.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"energy_pj\":{:.1}}}}}",
-                e.scope,
-                e.category,
-                e.start_ns / 1000.0,
-                e.dur_ns / 1000.0,
-                e.category.index() + 1,
-                e.energy_pj,
-            ));
-        }
-        out.push(']');
-        Some(out)
-    }
-
     /// Set the label under which subsequent phases are recorded (e.g. the
     /// current Transformer layer kind).
     pub fn set_scope(&mut self, scope: &str) {
@@ -201,31 +257,109 @@ impl Engine {
 
     /// Run one phase; returns its makespan in nanoseconds.
     pub fn run(&mut self, phase: Phase) -> f64 {
-        let (category, mut latency, energy, bytes) = match phase {
+        let start_ns = self.stats.latency_ns;
+        let emit = self.sink.is_enabled();
+        if emit && !self.tracks_named {
+            self.name_category_tracks();
+        }
+        let (category, mut latency, energy, bytes) = match &phase {
             Phase::Lump { category, latency_ns, energy_pj, bytes } => {
-                (category, latency_ns, energy_pj, bytes)
+                (*category, *latency_ns, *energy_pj, *bytes)
             }
-            Phase::Scheduled { category, ref ops } => {
-                let latency = schedule_makespan(ops);
+            Phase::Scheduled { category, ops } => {
+                let latency = if emit {
+                    let placed = schedule_placements(ops);
+                    self.emit_scheduled(*category, ops, &placed, start_ns);
+                    placed.makespan_ns
+                } else {
+                    schedule_makespan(ops)
+                };
                 let energy = ops.iter().map(|o| o.energy_pj).sum();
                 let bytes = ops.iter().map(|o| o.bytes).sum();
-                (category, latency, energy, bytes)
+                (*category, latency, energy, bytes)
             }
         };
         debug_assert!(latency >= 0.0 && energy >= 0.0 && bytes >= 0.0);
         latency *= self.latency_scale;
-        if let Some(timeline) = &mut self.timeline {
-            timeline.push(PhaseEvent {
-                scope: self.scope.clone(),
-                category,
-                start_ns: self.stats.latency_ns,
-                dur_ns: latency,
-                energy_pj: energy,
-            });
+        if emit {
+            self.sink.span(
+                SpanEvent::new(
+                    self.scope.clone(),
+                    category.label(),
+                    tracks::category(category),
+                    start_ns,
+                    latency,
+                )
+                .with_arg("energy_pj", energy)
+                .with_arg("bytes", bytes),
+            );
         }
         self.stats.record(category, latency, energy, bytes);
         self.scoped.record(&self.scope, category, latency, energy, bytes);
+        if emit && self.stats.latency_ns > 0.0 {
+            // Cumulative busy fraction of this category so far — plotted by
+            // trace viewers as a utilization-over-time curve.
+            self.sink.counter(CounterEvent::sample(
+                format!("util.{}", category.label()),
+                tracks::category(category),
+                self.stats.latency_ns,
+                "busy_frac",
+                self.stats.time_ns[category.index()] / self.stats.latency_ns,
+            ));
+        }
         latency
+    }
+
+    /// Per-op spans on the occupied resources' tracks plus one occupancy
+    /// counter per resource (busy fraction of the phase makespan).
+    fn emit_scheduled(
+        &mut self,
+        category: Category,
+        ops: &[PhaseOp],
+        placed: &SchedulePlacements,
+        start_ns: f64,
+    ) {
+        let scale = self.latency_scale;
+        let mut busy: HashMap<ResourceId, f64> = HashMap::new();
+        for (i, (op, p)) in ops.iter().zip(&placed.ops).enumerate() {
+            for r in &op.resources {
+                *busy.entry(*r).or_default() += p.end_ns - p.start_ns;
+                if self.named_resources.insert(r.0) {
+                    self.sink.track_name(tracks::resource(*r), &format!("res{}", r.0));
+                }
+                self.sink.span(
+                    SpanEvent::new(
+                        format!("op{i}"),
+                        category.label(),
+                        tracks::resource(*r),
+                        start_ns + p.start_ns * scale,
+                        (p.end_ns - p.start_ns) * scale,
+                    )
+                    .with_arg("bytes", op.bytes),
+                );
+            }
+        }
+        if placed.makespan_ns > 0.0 {
+            let mut per_resource: Vec<(ResourceId, f64)> = busy.into_iter().collect();
+            per_resource.sort_by_key(|(r, _)| *r);
+            for (r, busy_ns) in per_resource {
+                self.sink.counter(CounterEvent::sample(
+                    format!("util.res{}", r.0),
+                    tracks::resource(r),
+                    start_ns,
+                    "busy_frac",
+                    busy_ns / placed.makespan_ns,
+                ));
+            }
+        }
+    }
+
+    fn name_category_tracks(&mut self) {
+        for c in Category::ALL {
+            self.sink.track_name(tracks::category(c), &format!("phase:{}", c.label()));
+        }
+        self.sink.track_name(tracks::RING, "ring hops");
+        self.tracks_named = true;
     }
 
     /// Global statistics accumulated so far.
@@ -247,6 +381,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use transpim_obs::{ChromeTraceSink, NullSink};
 
     fn op(resources: &[u32], latency: f64) -> PhaseOp {
         PhaseOp {
@@ -265,6 +400,17 @@ mod tests {
     #[test]
     fn shared_resource_serializes() {
         assert_eq!(schedule_makespan(&[op(&[0, 5], 10.0), op(&[1, 5], 7.0)]), 17.0);
+    }
+
+    #[test]
+    fn placements_agree_with_makespan() {
+        let ops = vec![op(&[0, 5], 10.0), op(&[1, 5], 7.0), op(&[2], 3.0)];
+        let placed = schedule_placements(&ops);
+        assert_eq!(placed.makespan_ns, schedule_makespan(&ops));
+        assert_eq!(placed.ops.len(), 3);
+        assert_eq!(placed.ops[0].start_ns, 0.0);
+        assert_eq!(placed.ops[1].start_ns, 10.0); // waits for resource 5
+        assert_eq!(placed.ops[2].start_ns, 0.0); // disjoint, runs immediately
     }
 
     #[test]
@@ -300,9 +446,14 @@ mod tests {
         // slot 3: 1→2 and 5→6 (links).
         let m = ResourceMap::new(g, bus, true);
         let ops = vec![
-            hop(&m, 3, 4), hop(&m, 0, 1), hop(&m, 6, 7),
-            hop(&m, 7, 0), hop(&m, 2, 3), hop(&m, 4, 5),
-            hop(&m, 1, 2), hop(&m, 5, 6),
+            hop(&m, 3, 4),
+            hop(&m, 0, 1),
+            hop(&m, 6, 7),
+            hop(&m, 7, 0),
+            hop(&m, 2, 3),
+            hop(&m, 4, 5),
+            hop(&m, 1, 2),
+            hop(&m, 5, 6),
         ];
         assert!((schedule_makespan(&ops) - 3.0 * t).abs() < 1e-9);
 
@@ -315,23 +466,78 @@ mod tests {
     }
 
     #[test]
-    fn timeline_records_phases_in_order() {
-        let mut e = Engine::with_timeline();
+    fn sink_records_phases_in_order() {
+        let chrome = ChromeTraceSink::shared();
+        let mut e = Engine::with_sink(SinkHandle::from_shared(chrome.clone()));
         e.set_scope("fc");
         e.run(Phase::lump(Category::Arithmetic, 5.0, 1.0, 0.0));
         e.set_scope("attn");
         e.run(Phase::lump(Category::DataMovement, 3.0, 2.0, 16.0));
-        let t = e.timeline().unwrap();
-        assert_eq!(t.len(), 2);
-        assert_eq!(t[0].scope, "fc");
-        assert_eq!(t[0].start_ns, 0.0);
-        assert_eq!(t[1].start_ns, 5.0);
-        assert_eq!(t[1].dur_ns, 3.0);
-        let json = e.chrome_trace().unwrap();
-        assert!(json.starts_with('[') && json.ends_with(']'));
-        assert!(json.contains("\"name\":\"attn\""));
-        // Default engine records no timeline.
-        assert!(Engine::new().chrome_trace().is_none());
+        let events = chrome.borrow().sorted_events();
+        let spans: Vec<_> = events.iter().filter(|e| e.ph == "X").collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "fc");
+        assert_eq!(spans[0].ts, 0.0);
+        assert_eq!(spans[1].name, "attn");
+        assert_eq!(spans[1].ts, 0.005); // 5 ns in µs
+        assert_eq!(spans[1].dur, Some(0.003));
+        // Category tracks are named once.
+        assert!(events
+            .iter()
+            .any(|e| e.ph == "M" && e.tid == tracks::category(Category::Arithmetic).0));
+    }
+
+    #[test]
+    fn scheduled_phase_emits_per_resource_occupancy() {
+        let chrome = ChromeTraceSink::shared();
+        let mut e = Engine::with_sink(SinkHandle::from_shared(chrome.clone()));
+        e.set_scope("xfer");
+        e.run(Phase::Scheduled {
+            category: Category::DataMovement,
+            ops: vec![op(&[0, 5], 10.0), op(&[1, 5], 6.0)],
+        });
+        let events = chrome.borrow().sorted_events();
+        // Shared resource 5 is busy the whole 16 ns makespan; bank 0 only
+        // 10 — plus the cumulative per-category utilization sample.
+        let util: Vec<_> = events.iter().filter(|e| e.ph == "C").collect();
+        assert_eq!(util.len(), 4);
+        let busy = |name: &str| {
+            util.iter()
+                .find(|e| e.name == name)
+                .map(|e| match &e.args["busy_frac"] {
+                    transpim_obs::ArgValue::Num(v) => *v,
+                    other => panic!("non-numeric busy_frac: {other:?}"),
+                })
+                .unwrap()
+        };
+        assert!((busy("util.res5") - 1.0).abs() < 1e-12);
+        assert!((busy("util.res0") - 10.0 / 16.0).abs() < 1e-12);
+        // The whole run is one data-movement phase, so its cumulative
+        // utilization is 1.
+        assert!((busy("util.data-movement") - 1.0).abs() < 1e-12);
+        // Per-op spans land on the resource tracks.
+        assert!(events
+            .iter()
+            .any(|e| e.ph == "X" && e.tid >= tracks::RESOURCE_BASE && e.name == "op1"));
+    }
+
+    #[test]
+    fn null_sink_runs_match_untraced_runs_exactly() {
+        let phases = |e: &mut Engine| {
+            e.set_scope("a");
+            e.run(Phase::lump(Category::Arithmetic, 5.0, 1.0, 0.0));
+            e.set_scope("b");
+            e.run(Phase::Scheduled {
+                category: Category::DataMovement,
+                ops: vec![op(&[0], 3.0), op(&[0], 4.0)],
+            });
+        };
+        let mut plain = Engine::new();
+        phases(&mut plain);
+        let mut nulled = Engine::with_sink(SinkHandle::new(NullSink));
+        phases(&mut nulled);
+        assert_eq!(plain.stats(), nulled.stats());
+        assert_eq!(plain.scoped(), nulled.scoped());
     }
 
     #[test]

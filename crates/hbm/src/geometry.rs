@@ -209,7 +209,13 @@ mod tests {
 
     #[test]
     fn bank_id_roundtrip_exhaustive_small() {
-        let g = HbmGeometry { stacks: 2, channels_per_stack: 2, groups_per_channel: 3, banks_per_group: 4, ..HbmGeometry::default() };
+        let g = HbmGeometry {
+            stacks: 2,
+            channels_per_stack: 2,
+            groups_per_channel: 3,
+            banks_per_group: 4,
+            ..HbmGeometry::default()
+        };
         for id in g.banks() {
             assert_eq!(g.bank_id(g.coord(id)), id);
         }

@@ -42,9 +42,9 @@ pub mod stats;
 pub mod timing;
 
 pub use config::HbmConfig;
+pub use energy::EnergyParams;
 pub use engine::{Engine, Phase, PhaseOp};
 pub use geometry::{BankCoord, BankId, HbmGeometry};
 pub use resource::{ResourceId, ResourceMap};
 pub use stats::{Category, SimStats};
 pub use timing::TimingParams;
-pub use energy::EnergyParams;

@@ -43,17 +43,21 @@ impl Category {
     pub fn is_compute(self) -> bool {
         matches!(self, Category::Arithmetic | Category::Reduction)
     }
-}
 
-impl fmt::Display for Category {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Stable display label, also used as the trace-event category string.
+    pub fn label(self) -> &'static str {
+        match self {
             Category::DataMovement => "data-movement",
             Category::Arithmetic => "arithmetic",
             Category::Reduction => "reduction",
             Category::Other => "other",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -109,13 +113,21 @@ impl SimStats {
     ///
     /// Returns 0 for an empty run.
     pub fn average_power_w(&self) -> f64 {
-        if self.latency_ns <= 0.0 { 0.0 } else { self.total_energy_j() / self.latency_s() }
+        if self.latency_ns <= 0.0 {
+            0.0
+        } else {
+            self.total_energy_j() / self.latency_s()
+        }
     }
 
     /// Average memory bandwidth usage in GB/s (Figure 12 metric: bytes read
     /// and written divided by latency).
     pub fn average_bandwidth_gbs(&self) -> f64 {
-        if self.latency_ns <= 0.0 { 0.0 } else { self.bytes_moved / self.latency_ns }
+        if self.latency_ns <= 0.0 {
+            0.0
+        } else {
+            self.bytes_moved / self.latency_ns
+        }
     }
 
     /// Fraction of time spent on computation (Section V-C utilization).
@@ -133,7 +145,11 @@ impl SimStats {
 
     /// Fraction of time per category.
     pub fn time_fraction(&self, category: Category) -> f64 {
-        if self.latency_ns <= 0.0 { 0.0 } else { self.time_ns[category.index()] / self.latency_ns }
+        if self.latency_ns <= 0.0 {
+            0.0
+        } else {
+            self.time_ns[category.index()] / self.latency_ns
+        }
     }
 }
 

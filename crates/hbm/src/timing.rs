@@ -92,7 +92,11 @@ impl TimingParams {
     /// of every `t_REFI` unavailable. Sustained operations stretch by
     /// `1 + refresh_overhead()` (~9% at the JESD235 defaults).
     pub fn refresh_overhead(&self) -> f64 {
-        if self.t_refi <= 0.0 { 0.0 } else { self.t_rfc / (self.t_refi - self.t_rfc).max(1e-9) }
+        if self.t_refi <= 0.0 {
+            0.0
+        } else {
+            self.t_rfc / (self.t_refi - self.t_rfc).max(1e-9)
+        }
     }
 }
 

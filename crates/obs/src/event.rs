@@ -1,0 +1,195 @@
+//! The event model: spans, instants, and counters on named tracks.
+//!
+//! Times are nanoseconds of *simulated* time since simulation start —
+//! observability describes the machine being modeled, not the host running
+//! the model. Sinks translate units as their format requires (the Chrome
+//! sink exports microseconds, per the trace-event spec).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one timeline row ("thread" in Chrome-trace terms).
+///
+/// Emitters pick the layout; the simulator reserves low ids for breakdown
+/// categories, one row for ring-broadcast hops, and a range for
+/// per-resource occupancy (see `transpim_hbm::engine::tracks`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TrackId(pub u64);
+
+impl TrackId {
+    /// The default track for emitters that do not care about placement.
+    pub const DEFAULT: TrackId = TrackId(0);
+}
+
+/// One argument value attached to an event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ArgValue {
+    /// Numeric payload (energies, byte counts, utilizations).
+    Num(f64),
+    /// String payload (labels, resource names).
+    Str(String),
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Num(v)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::Num(v as f64)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::Num(f64::from(v))
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// A complete interval on a track: something that took time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Human-readable name (scope label, hop label, op label).
+    pub name: String,
+    /// Category label, matching the breakdown vocabulary of the emitter
+    /// (e.g. `data-movement`, `arithmetic`, `ring`).
+    pub category: String,
+    /// Track the span renders on.
+    pub track: TrackId,
+    /// Start, in simulated nanoseconds.
+    pub start_ns: f64,
+    /// Duration, in simulated nanoseconds (≥ 0).
+    pub dur_ns: f64,
+    /// Attached arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl SpanEvent {
+    /// A span with no arguments.
+    pub fn new(
+        name: impl Into<String>,
+        category: impl Into<String>,
+        track: TrackId,
+        start_ns: f64,
+        dur_ns: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            category: category.into(),
+            track,
+            start_ns,
+            dur_ns,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attach one argument (builder style).
+    pub fn with_arg(mut self, key: impl Into<String>, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// A point-in-time marker on a track.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstantEvent {
+    /// Human-readable name.
+    pub name: String,
+    /// Category label.
+    pub category: String,
+    /// Track the marker renders on.
+    pub track: TrackId,
+    /// Timestamp, in simulated nanoseconds.
+    pub ts_ns: f64,
+    /// Attached arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl InstantEvent {
+    /// An instant with no arguments.
+    pub fn new(
+        name: impl Into<String>,
+        category: impl Into<String>,
+        track: TrackId,
+        ts_ns: f64,
+    ) -> Self {
+        Self { name: name.into(), category: category.into(), track, ts_ns, args: Vec::new() }
+    }
+
+    /// Attach one argument (builder style).
+    pub fn with_arg(mut self, key: impl Into<String>, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// A sampled counter value series (utilization, occupancy, queue depth).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEvent {
+    /// Counter series name (one chart per name in trace viewers).
+    pub name: String,
+    /// Track the counter renders on.
+    pub track: TrackId,
+    /// Sample timestamp, in simulated nanoseconds.
+    pub ts_ns: f64,
+    /// `(series, value)` samples taken at `ts_ns`.
+    pub values: Vec<(String, f64)>,
+}
+
+impl CounterEvent {
+    /// A counter with a single `(series, value)` sample.
+    pub fn sample(
+        name: impl Into<String>,
+        track: TrackId,
+        ts_ns: f64,
+        series: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        Self { name: name.into(), track, ts_ns, values: vec![(series.into(), value)] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_attach_args() {
+        let s = SpanEvent::new("fc", "arithmetic", TrackId(2), 1.0, 5.0)
+            .with_arg("energy_pj", 10.0)
+            .with_arg("label", "a");
+        assert_eq!(s.args.len(), 2);
+        assert_eq!(s.args[0].1, ArgValue::Num(10.0));
+        assert_eq!(s.args[1].1, ArgValue::Str("a".into()));
+    }
+
+    #[test]
+    fn arg_values_serialize_untagged() {
+        let n = serde_json::to_string(&ArgValue::Num(2.5)).unwrap();
+        let s = serde_json::to_string(&ArgValue::Str("x".into())).unwrap();
+        assert_eq!(n, "2.5");
+        assert_eq!(s, "\"x\"");
+    }
+
+    #[test]
+    fn counter_sample_is_single_series() {
+        let c = CounterEvent::sample("util", TrackId::DEFAULT, 3.0, "busy", 0.5);
+        assert_eq!(c.values, vec![("busy".to_owned(), 0.5)]);
+    }
+}

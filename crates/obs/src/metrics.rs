@@ -1,0 +1,197 @@
+//! Flat key→value metrics sink with JSON and CSV export.
+//!
+//! Aggregates the event stream into the shape the `results/` pipeline
+//! consumes: per-`(category, name)` span totals and counts, last-value
+//! counters, instant counts, plus caller-supplied summary metrics. Keys are
+//! dotted paths (`span.<category>.<name>.total_ns`), stable and sorted, so
+//! diffs between runs are line diffs.
+
+use crate::event::{ArgValue, CounterEvent, InstantEvent, SpanEvent};
+use crate::sink::Sink;
+use crate::ObsError;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+#[derive(Debug, Default, Clone, PartialEq)]
+struct SpanAccum {
+    count: u64,
+    total_ns: f64,
+    /// Sums of numeric span arguments (e.g. `energy_pj`, `bytes`).
+    arg_sums: BTreeMap<String, f64>,
+}
+
+/// Sink that folds the event stream into flat metrics.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    spans: BTreeMap<(String, String), SpanAccum>,
+    counters: BTreeMap<String, f64>,
+    instants: BTreeMap<String, u64>,
+    extra: BTreeMap<String, f64>,
+}
+
+impl MetricsSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty sink behind the shared handle plumbing (see
+    /// [`crate::ChromeTraceSink::shared`]).
+    pub fn shared() -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(Self::new()))
+    }
+
+    /// Record a summary metric under a verbatim key (e.g. final `SimStats`
+    /// figures the caller computed outside the event stream).
+    pub fn push_metric(&mut self, key: impl Into<String>, value: f64) {
+        self.extra.insert(key.into(), value);
+    }
+
+    /// The flat, sorted `key → value` view of everything recorded.
+    pub fn to_flat(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for ((category, name), a) in &self.spans {
+            let base = format!("span.{category}.{name}");
+            out.insert(format!("{base}.count"), a.count as f64);
+            out.insert(format!("{base}.total_ns"), a.total_ns);
+            for (arg, sum) in &a.arg_sums {
+                out.insert(format!("{base}.{arg}"), *sum);
+            }
+        }
+        for (name, value) in &self.counters {
+            out.insert(format!("counter.{name}"), *value);
+        }
+        for (name, count) in &self.instants {
+            out.insert(format!("event.{name}.count"), *count as f64);
+        }
+        for (key, value) in &self.extra {
+            out.insert(key.clone(), *value);
+        }
+        out
+    }
+
+    /// Serialize the flat metrics as a pretty JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Reserved for fallible exporters; the built-in writer always
+    /// returns `Ok`.
+    pub fn to_json_string(&self) -> Result<String, ObsError> {
+        let flat = self.to_flat();
+        let mut out = String::from("{");
+        for (i, (key, value)) in flat.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            crate::json::write_str(&mut out, key);
+            out.push_str(": ");
+            crate::json::write_f64(&mut out, *value);
+        }
+        if !flat.is_empty() {
+            out.push('\n');
+        }
+        out.push('}');
+        Ok(out)
+    }
+
+    /// Render the flat metrics as `metric,value` CSV lines (with header).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (k, v) in self.to_flat() {
+            out.push_str(&format!("{k},{v}\n"));
+        }
+        out
+    }
+
+    /// Serialize and write to `path`: CSV when the extension is `.csv`,
+    /// JSON otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), ObsError> {
+        let path = path.as_ref();
+        let text = if path.extension().is_some_and(|e| e.eq_ignore_ascii_case("csv")) {
+            self.to_csv_string()
+        } else {
+            self.to_json_string()?
+        };
+        std::fs::write(path, text).map_err(ObsError::from)
+    }
+}
+
+impl Sink for MetricsSink {
+    fn span(&mut self, event: SpanEvent) {
+        let a = self.spans.entry((event.category, event.name)).or_default();
+        a.count += 1;
+        a.total_ns += event.dur_ns;
+        for (key, value) in event.args {
+            if let ArgValue::Num(v) = value {
+                *a.arg_sums.entry(key).or_default() += v;
+            }
+        }
+    }
+
+    fn instant(&mut self, event: InstantEvent) {
+        *self.instants.entry(event.name).or_default() += 1;
+    }
+
+    fn counter(&mut self, event: CounterEvent) {
+        for (series, value) in event.values {
+            self.counters.insert(format!("{}.{series}", event.name), value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TrackId;
+
+    fn filled() -> MetricsSink {
+        let mut m = MetricsSink::new();
+        m.span(
+            SpanEvent::new("fc", "arithmetic", TrackId(1), 0.0, 10.0).with_arg("energy_pj", 3.0),
+        );
+        m.span(
+            SpanEvent::new("fc", "arithmetic", TrackId(1), 10.0, 5.0).with_arg("energy_pj", 2.0),
+        );
+        m.span(SpanEvent::new("attn", "data-movement", TrackId(1), 15.0, 7.0));
+        m.instant(InstantEvent::new("ring-step", "ring", TrackId(2), 1.0));
+        m.counter(CounterEvent::sample("util", TrackId(3), 2.0, "busy", 0.5));
+        m.counter(CounterEvent::sample("util", TrackId(3), 4.0, "busy", 0.75));
+        m.push_metric("sim.latency_ns", 22.0);
+        m
+    }
+
+    #[test]
+    fn aggregates_spans_by_category_and_name() {
+        let flat = filled().to_flat();
+        assert_eq!(flat["span.arithmetic.fc.count"], 2.0);
+        assert_eq!(flat["span.arithmetic.fc.total_ns"], 15.0);
+        assert_eq!(flat["span.arithmetic.fc.energy_pj"], 5.0);
+        assert_eq!(flat["span.data-movement.attn.total_ns"], 7.0);
+        assert_eq!(flat["event.ring-step.count"], 1.0);
+        assert_eq!(flat["counter.util.busy"], 0.75); // last value wins
+        assert_eq!(flat["sim.latency_ns"], 22.0);
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let json = filled().to_json_string().unwrap();
+        let v: BTreeMap<String, f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, filled().to_flat());
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_metric() {
+        let m = filled();
+        let csv = m.to_csv_string();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "metric,value");
+        assert_eq!(lines.len(), 1 + m.to_flat().len());
+        assert!(lines.iter().any(|l| l.starts_with("span.arithmetic.fc.total_ns,")));
+    }
+}

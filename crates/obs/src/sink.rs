@@ -1,0 +1,218 @@
+//! The [`Sink`] trait, the [`SinkHandle`] the simulation layers carry, and
+//! the built-in [`NullSink`] / [`FanoutSink`].
+
+use crate::event::{CounterEvent, InstantEvent, SpanEvent, TrackId};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Consumer of observability events.
+///
+/// Sinks are single-threaded (the simulator is a discrete-event loop) and
+/// receive events in emission order, which is phase order but not strictly
+/// timestamp order — a phase's interior events (ring hops, per-op spans)
+/// arrive before the enclosing phase span. Sinks that need time order sort
+/// on export, as [`crate::ChromeTraceSink`] does.
+pub trait Sink {
+    /// Whether this sink wants events at all. [`SinkHandle`] caches the
+    /// answer at construction; a `false` makes every emission a no-op.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record a completed span.
+    fn span(&mut self, event: SpanEvent);
+
+    /// Record an instantaneous marker.
+    fn instant(&mut self, event: InstantEvent);
+
+    /// Record a counter sample.
+    fn counter(&mut self, event: CounterEvent);
+
+    /// Name a track (shown as the timeline-row label in viewers). Optional.
+    fn track_name(&mut self, track: TrackId, name: &str) {
+        let _ = (track, name);
+    }
+}
+
+/// Cheap cloneable handle to a shared sink, carried by engines and
+/// executors. A disabled handle (from [`SinkHandle::null`] or a sink whose
+/// [`Sink::enabled`] is `false`) holds no sink at all, so every emission is
+/// a branch on `Option` and nothing more — the zero-overhead path.
+#[derive(Clone, Default)]
+pub struct SinkHandle {
+    inner: Option<Rc<RefCell<dyn Sink>>>,
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SinkHandle").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl SinkHandle {
+    /// The disabled handle: every emission is a no-op.
+    pub fn null() -> Self {
+        Self { inner: None }
+    }
+
+    /// Wrap an owned sink. A sink reporting [`Sink::enabled`]` == false`
+    /// collapses to the null handle.
+    pub fn new<S: Sink + 'static>(sink: S) -> Self {
+        if sink.enabled() {
+            Self { inner: Some(Rc::new(RefCell::new(sink))) }
+        } else {
+            Self::null()
+        }
+    }
+
+    /// Wrap an externally shared sink so the caller can read results back
+    /// after the run (see [`crate::ChromeTraceSink::shared`]).
+    pub fn from_shared<S: Sink + 'static>(sink: Rc<RefCell<S>>) -> Self {
+        Self { inner: Some(sink) }
+    }
+
+    /// Whether emissions reach a sink. Gate expensive event construction on
+    /// this.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit a completed span.
+    pub fn span(&self, event: SpanEvent) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().span(event);
+        }
+    }
+
+    /// Emit an instantaneous marker.
+    pub fn instant(&self, event: InstantEvent) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().instant(event);
+        }
+    }
+
+    /// Emit a counter sample.
+    pub fn counter(&self, event: CounterEvent) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().counter(event);
+        }
+    }
+
+    /// Name a track.
+    pub fn track_name(&self, track: TrackId, name: &str) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().track_name(track, name);
+        }
+    }
+}
+
+/// Sink that drops everything and reports itself disabled, so a
+/// [`SinkHandle`] built from it takes the no-op path. Useful as an explicit
+/// "tracing off" value in APIs that require a sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span(&mut self, _: SpanEvent) {}
+
+    fn instant(&mut self, _: InstantEvent) {}
+
+    fn counter(&mut self, _: CounterEvent) {}
+}
+
+/// Multiplexer: forwards every event to each child handle (e.g. a Chrome
+/// trace and a metrics file from one run).
+#[derive(Default)]
+pub struct FanoutSink {
+    children: Vec<SinkHandle>,
+}
+
+impl FanoutSink {
+    /// Fan out to `children`. Disabled children are dropped up front.
+    pub fn new(children: Vec<SinkHandle>) -> Self {
+        Self { children: children.into_iter().filter(SinkHandle::is_enabled).collect() }
+    }
+}
+
+impl Sink for FanoutSink {
+    fn enabled(&self) -> bool {
+        !self.children.is_empty()
+    }
+
+    fn span(&mut self, event: SpanEvent) {
+        if let Some((last, rest)) = self.children.split_last() {
+            for c in rest {
+                c.span(event.clone());
+            }
+            last.span(event);
+        }
+    }
+
+    fn instant(&mut self, event: InstantEvent) {
+        if let Some((last, rest)) = self.children.split_last() {
+            for c in rest {
+                c.instant(event.clone());
+            }
+            last.instant(event);
+        }
+    }
+
+    fn counter(&mut self, event: CounterEvent) {
+        if let Some((last, rest)) = self.children.split_last() {
+            for c in rest {
+                c.counter(event.clone());
+            }
+            last.counter(event);
+        }
+    }
+
+    fn track_name(&mut self, track: TrackId, name: &str) {
+        for c in &self.children {
+            c.track_name(track, name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::ChromeTraceSink;
+
+    #[test]
+    fn null_handle_is_disabled_and_free() {
+        let h = SinkHandle::null();
+        assert!(!h.is_enabled());
+        h.span(SpanEvent::new("x", "c", TrackId::DEFAULT, 0.0, 1.0)); // no-op
+        assert!(!SinkHandle::new(NullSink).is_enabled());
+        assert!(!SinkHandle::default().is_enabled());
+    }
+
+    #[test]
+    fn fanout_forwards_to_all_children() {
+        let a = ChromeTraceSink::shared();
+        let b = ChromeTraceSink::shared();
+        let fan = SinkHandle::new(FanoutSink::new(vec![
+            SinkHandle::from_shared(a.clone()),
+            SinkHandle::null(),
+            SinkHandle::from_shared(b.clone()),
+        ]));
+        assert!(fan.is_enabled());
+        fan.span(SpanEvent::new("s", "c", TrackId(1), 0.0, 2.0));
+        fan.instant(InstantEvent::new("i", "c", TrackId(1), 1.0));
+        fan.counter(CounterEvent::sample("u", TrackId(1), 1.0, "busy", 0.5));
+        assert_eq!(a.borrow().len(), 3);
+        assert_eq!(b.borrow().len(), 3);
+    }
+
+    #[test]
+    fn fanout_of_disabled_children_is_disabled() {
+        let fan = FanoutSink::new(vec![SinkHandle::null(), SinkHandle::new(NullSink)]);
+        assert!(!fan.enabled());
+        assert!(!SinkHandle::new(fan).is_enabled());
+    }
+}

@@ -268,7 +268,11 @@ mod tests {
 
     fn decode_signed(v: u64, bits: u32) -> i64 {
         let sign = 1u64 << (bits - 1);
-        if v & sign != 0 { v as i64 - (1i64 << bits) } else { v as i64 }
+        if v & sign != 0 {
+            v as i64 - (1i64 << bits)
+        } else {
+            v as i64
+        }
     }
 
     #[test]

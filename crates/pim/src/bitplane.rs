@@ -72,8 +72,7 @@ impl Plane {
 
     fn zip2(&self, other: &Plane, f: impl Fn(u64, u64) -> u64) -> Plane {
         assert_eq!(self.lanes, other.lanes, "plane lane counts differ");
-        let words =
-            self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect();
+        let words = self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect();
         let mut p = Plane { words, lanes: self.lanes };
         p.mask_tail();
         p
@@ -110,10 +109,7 @@ impl Plane {
     ///
     /// Panics if the three planes have different lane counts.
     pub fn maj3(&self, b: &Plane, c: &Plane) -> Plane {
-        assert!(
-            self.lanes == b.lanes && b.lanes == c.lanes,
-            "plane lane counts differ"
-        );
+        assert!(self.lanes == b.lanes && b.lanes == c.lanes, "plane lane counts differ");
         let words = self
             .words
             .iter()

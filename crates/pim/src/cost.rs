@@ -180,8 +180,7 @@ impl PimCostModel {
 
     /// Per-lane energy of `op` in pJ (asymptotic, full rows).
     pub fn energy_per_elem_pj(&self, op: PimOp) -> f64 {
-        op.aaps() as f64 * self.subarray_activation_pj()
-            / f64::from(self.geometry.subarray_cols)
+        op.aaps() as f64 * self.subarray_activation_pj() / f64::from(self.geometry.subarray_cols)
     }
 
     /// Latency of a PIM-only in-situ tree reduction (the baseline the ACU
@@ -189,12 +188,7 @@ impl PimCostModel {
     /// `vec_len` `bits`-wide elements by `log2(vec_len)` halving steps, each
     /// step needing a row-buffer-mediated shifted copy of the shrinking
     /// operand plus a point-wise add at growing width.
-    pub fn reduce_tree_latency_ns(
-        &self,
-        vec_len: u32,
-        bits: u32,
-        vectors_per_bank: u64,
-    ) -> f64 {
+    pub fn reduce_tree_latency_ns(&self, vec_len: u32, bits: u32, vectors_per_bank: u64) -> f64 {
         if vec_len <= 1 {
             return 0.0;
         }
@@ -206,7 +200,8 @@ impl PimCostModel {
         let mut per_batch = 0.0;
         for s in 0..steps {
             let width = bits + s; // partial sums widen each step
-            per_batch += self.shift_copy_ns(width) + self.batch_latency_ns(PimOp::Add { bits: width });
+            per_batch +=
+                self.shift_copy_ns(width) + self.batch_latency_ns(PimOp::Add { bits: width });
         }
         batches * per_batch
     }
@@ -223,8 +218,8 @@ impl PimCostModel {
             let elems = total_vectors * u64::from(vec_len >> (s + 1)).max(1);
             pj += self.energy_pj(PimOp::Add { bits: width }, elems);
             // Shifted copy: one activation + write-back per moved row slice.
-            let rows = elems.div_ceil(u64::from(self.geometry.subarray_cols)) as f64
-                * f64::from(width);
+            let rows =
+                elems.div_ceil(u64::from(self.geometry.subarray_cols)) as f64 * f64::from(width);
             pj += rows
                 * (self.subarray_activation_pj()
                     + self.energy.local_column_access(u64::from(self.geometry.dq_bits)));
@@ -309,8 +304,8 @@ mod tests {
             m.lanes_per_bank() as f64 / m.batch_latency_ns(PimOp::Mul { a_bits: 8, b_bits: 8 });
         let system_rate = per_bank_rate * 2048.0; // MACs per ns = GMAC/s
         assert!(system_rate > 500.0 && system_rate < 5000.0, "system {system_rate} GMAC/s");
-        let power_w = system_rate * 1e9 * m.energy_per_elem_pj(PimOp::Mul { a_bits: 8, b_bits: 8 })
-            * 1e-12;
+        let power_w =
+            system_rate * 1e9 * m.energy_per_elem_pj(PimOp::Mul { a_bits: 8, b_bits: 8 }) * 1e-12;
         assert!(power_w < 60.0, "sustained PIM power {power_w} W exceeds budget");
     }
 

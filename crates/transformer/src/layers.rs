@@ -473,7 +473,13 @@ mod tests {
             let x = xs.slice_rows(t, t + 1);
             let qt = linear(&x, &dec.self_attn.wq);
             cache.append(linear(&x, &dec.self_attn.wk), linear(&x, &dec.self_attn.wv));
-            rows.push(multi_head_attention(&qt, cache.k(), cache.v(), cfg.heads, SoftmaxKind::Exact));
+            rows.push(multi_head_attention(
+                &qt,
+                cache.k(),
+                cache.v(),
+                cfg.heads,
+                SoftmaxKind::Exact,
+            ));
         }
         let stepwise = Matrix::vcat(&rows);
         assert!(batch.max_abs_diff(&stepwise) < 1e-4);

@@ -122,7 +122,11 @@ impl Matrix {
     /// Panics if the range is out of bounds or reversed.
     pub fn slice_rows(&self, lo: usize, hi: usize) -> Matrix {
         assert!(lo <= hi && hi <= self.rows, "bad row range {lo}..{hi}");
-        Matrix { rows: hi - lo, cols: self.cols, data: self.data[lo * self.cols..hi * self.cols].to_vec() }
+        Matrix {
+            rows: hi - lo,
+            cols: self.cols,
+            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+        }
     }
 
     /// Copy of columns `lo..hi`.
@@ -182,7 +186,13 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch {:?} × {:?}", self.shape(), other.shape());
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch {:?} × {:?}",
+            self.shape(),
+            other.shape()
+        );
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -205,7 +215,13 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_transb shape mismatch {:?} × {:?}ᵀ", self.shape(), other.shape());
+        assert_eq!(
+            self.cols,
+            other.cols,
+            "matmul_transb shape mismatch {:?} × {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
         Matrix::from_fn(self.rows, other.rows, |i, j| {
             self.row(i).iter().zip(other.row(j)).map(|(&a, &b)| a * b).sum()
         })
@@ -244,10 +260,7 @@ impl Matrix {
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
     }
 
     /// True when every element differs from `other` by at most

@@ -265,9 +265,7 @@ impl ModelWeights {
         let decoder = (0..cfg.decoder_layers)
             .map(|_| DecoderLayerWeights {
                 self_attn: random_attention(&mut rng, cfg.d_model),
-                cross_attn: cfg
-                    .cross_attention
-                    .then(|| random_attention(&mut rng, cfg.d_model)),
+                cross_attn: cfg.cross_attention.then(|| random_attention(&mut rng, cfg.d_model)),
                 w1: random_matrix(&mut rng, cfg.d_model, cfg.d_ff),
                 w2: random_matrix(&mut rng, cfg.d_ff, cfg.d_model),
             })

@@ -25,11 +25,8 @@ impl QuantMatrix {
     pub fn quantize(m: &Matrix) -> Self {
         let max = m.max_abs();
         let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
-        let data = m
-            .as_slice()
-            .iter()
-            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
-            .collect();
+        let data =
+            m.as_slice().iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
         Self { rows: m.rows(), cols: m.cols(), data, scale }
     }
 

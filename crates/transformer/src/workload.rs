@@ -131,14 +131,12 @@ impl Workload {
     /// spans the encoder context).
     pub fn total_macs(&self) -> u64 {
         let m = &self.model;
-        let enc =
-            m.encoder_layers as u64 * m.encoder_layer_macs(self.seq_len as u64);
+        let enc = m.encoder_layers as u64 * m.encoder_layer_macs(self.seq_len as u64);
         let ctx = if m.cross_attention { self.seq_len as u64 } else { 0 };
         let mut dec = 0u64;
         for t in 0..self.decode_len as u64 {
             // Decoder-only models attend over context + generated prefix.
-            let prefix =
-                if m.cross_attention { t + 1 } else { self.seq_len as u64 + t + 1 };
+            let prefix = if m.cross_attention { t + 1 } else { self.seq_len as u64 + t + 1 };
             dec += m.decoder_layers as u64 * m.decoder_step_macs(prefix, ctx);
         }
         self.batch as u64 * (enc + dec)
@@ -183,8 +181,14 @@ mod tests {
     #[test]
     fn batch_scales_macs_linearly() {
         let mut w = Workload::imdb();
-        let one = { w.batch = 1; w.total_macs() };
-        let eight = { w.batch = 8; w.total_macs() };
+        let one = {
+            w.batch = 1;
+            w.total_macs()
+        };
+        let eight = {
+            w.batch = 8;
+            w.total_macs()
+        };
         assert_eq!(eight, 8 * one);
     }
 

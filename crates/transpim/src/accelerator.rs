@@ -4,6 +4,7 @@ use crate::arch::ArchConfig;
 use crate::exec::Executor;
 use crate::report::{DataflowKind, SimReport};
 use transpim_dataflow::{layer_flow, token_flow};
+use transpim_obs::{ChromeTraceSink, ObsError, SinkHandle};
 use transpim_transformer::workload::Workload;
 
 /// A configured memory-based accelerator.
@@ -39,37 +40,27 @@ impl Accelerator {
 
     /// Compile `workload` under `dataflow` and simulate it.
     pub fn simulate(&self, workload: &Workload, dataflow: DataflowKind) -> SimReport {
-        let (report, _) = self.simulate_inner(workload, dataflow, false);
-        report
+        self.simulate_with_sink(workload, dataflow, SinkHandle::null())
     }
 
-    /// Like [`Accelerator::simulate`], but additionally returns a
-    /// Chrome-tracing JSON document of the phase timeline.
-    pub fn simulate_traced(&self, workload: &Workload, dataflow: DataflowKind) -> (SimReport, String) {
-        let (report, trace) = self.simulate_inner(workload, dataflow, true);
-        (report, trace.unwrap_or_default())
-    }
-
-    fn simulate_inner(
+    /// Like [`Accelerator::simulate`], with an observability sink attached
+    /// to the execution: phase spans, resource occupancy counters and
+    /// per-hop ring events stream into `sink` as the program runs. With a
+    /// [`SinkHandle::null`] sink this is exactly [`Accelerator::simulate`].
+    pub fn simulate_with_sink(
         &self,
         workload: &Workload,
         dataflow: DataflowKind,
-        traced: bool,
-    ) -> (SimReport, Option<String>) {
+        sink: SinkHandle,
+    ) -> SimReport {
         let banks = self.arch.hbm.geometry.total_banks();
         let program = match dataflow {
             DataflowKind::Token => token_flow::compile(workload, banks),
             DataflowKind::Layer => layer_flow::compile(workload, banks),
         };
         let mut exec = Executor::new(self.arch.clone());
-        let (stats, scoped, trace) = if traced {
-            let (stats, scoped, trace) = exec.run_traced(&program);
-            (stats, scoped, Some(trace))
-        } else {
-            let (stats, scoped) = exec.run(&program);
-            (stats, scoped, None)
-        };
-        let report = SimReport {
+        let (stats, scoped) = exec.run_with_sink(&program, sink);
+        SimReport {
             system: self.arch.system_label(dataflow.label()),
             arch: self.arch.kind,
             dataflow,
@@ -78,8 +69,23 @@ impl Accelerator {
             scoped,
             total_ops: workload.total_ops(),
             batch: workload.batch,
-        };
-        (report, trace)
+        }
+    }
+
+    /// Like [`Accelerator::simulate`], but additionally returns a
+    /// Chrome-tracing JSON document of the phase timeline (loadable in
+    /// `chrome://tracing` or Perfetto). Serialization failures are
+    /// propagated, not swallowed.
+    pub fn simulate_traced(
+        &self,
+        workload: &Workload,
+        dataflow: DataflowKind,
+    ) -> Result<(SimReport, String), ObsError> {
+        let chrome = ChromeTraceSink::shared();
+        let report =
+            self.simulate_with_sink(workload, dataflow, SinkHandle::from_shared(chrome.clone()));
+        let trace = chrome.borrow().to_json_string()?;
+        Ok((report, trace))
     }
 }
 
@@ -98,5 +104,16 @@ mod tests {
         assert_eq!(r.workload, "IMDB");
         assert!(r.latency_ms() > 0.0);
         assert!(r.scoped.get("enc.fc").is_some());
+    }
+
+    #[test]
+    fn traced_simulation_matches_plain_simulation() {
+        let mut w = Workload::imdb();
+        w.model.encoder_layers = 1;
+        let acc = Accelerator::new(ArchConfig::new(ArchKind::TransPim));
+        let plain = acc.simulate(&w, DataflowKind::Token);
+        let (traced, trace) = acc.simulate_traced(&w, DataflowKind::Token).unwrap();
+        assert_eq!(plain.stats, traced.stats);
+        assert!(serde_json::from_str::<serde_json::Value>(&trace).is_ok());
     }
 }

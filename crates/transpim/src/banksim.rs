@@ -111,7 +111,7 @@ pub fn attention_row(q: &[f32], keys: &[Vec<f32>], values: &[Vec<f32>]) -> BankS
         let k_planes = BitPlanes::from_values(&quantize(key, ACT_FRAC), ACT_FRAC);
         let products = alu.mul(&q_planes, &k_planes); // Q0.16 per lane
         let dot = tree_reduce(&products.to_values()); // exact sum
-        // Q0.16 × D lanes → scale to Q4.12 and divide by D.
+                                                      // Q0.16 × D lanes → scale to Q4.12 and divide by D.
         let score = (dot / d as u128) >> (2 * ACT_FRAC - SM_FRAC);
         scores_q.push(score as u64);
     }
@@ -122,13 +122,11 @@ pub fn attention_row(q: &[f32], keys: &[Vec<f32>], values: &[Vec<f32>]) -> BankS
     // …adder-tree row sum and divider reciprocal…
     let sum_q12 = tree_reduce(&exps.to_values()) as i64; // Q4.12
     let recip_q = recip_q16(sum_q12 << 4); // Q16.16 in, Q16.16 out
-    // …replicated across the row and multiplied back in the array.
+                                           // …replicated across the row and multiplied back in the array.
     let recip_q12 = ((recip_q >> 4).max(1)) as u64; // back to Q4.12
     let recip_planes = BitPlanes::from_values(&vec![recip_q12; n], SM_BITS);
-    let probs_planes =
-        alu.mul(&exps, &recip_planes).shifted_down(SM_FRAC).resized(SM_BITS);
-    let probs: Vec<f32> =
-        probs_planes.to_values().iter().map(|&p| to_f32(p, SM_FRAC)).collect();
+    let probs_planes = alu.mul(&exps, &recip_planes).shifted_down(SM_FRAC).resized(SM_BITS);
+    let probs: Vec<f32> = probs_planes.to_values().iter().map(|&p| to_f32(p, SM_FRAC)).collect();
 
     // (c) Weighted values: per output dimension, probability × value
     // products over the N lanes reduce through the adder tree.
@@ -156,9 +154,7 @@ pub fn attention_row_reference(q: &[f32], keys: &[Vec<f32>], values: &[Vec<f32>]
     let exps: Vec<f32> = scores.iter().map(|&s| (s - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     let probs: Vec<f32> = exps.iter().map(|e| e / sum).collect();
-    (0..d)
-        .map(|dim| probs.iter().zip(values).map(|(&p, v)| p * v[dim]).sum())
-        .collect()
+    (0..d).map(|dim| probs.iter().zip(values).map(|(&p, v)| p * v[dim]).sum()).collect()
 }
 
 /// The in-array command count of a run (exposed for the cost-model
@@ -176,9 +172,8 @@ mod tests {
 
     fn random_case(seed: u64, n: usize, d: usize) -> (Vec<f32>, Vec<Vec<f32>>, Vec<Vec<f32>>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut gen_vec = |len: usize| -> Vec<f32> {
-            (0..len).map(|_| rng.gen_range(0.05f32..0.95)).collect()
-        };
+        let mut gen_vec =
+            |len: usize| -> Vec<f32> { (0..len).map(|_| rng.gen_range(0.05f32..0.95)).collect() };
         let q = gen_vec(d);
         let keys = (0..n).map(|_| gen_vec(d)).collect();
         let values = (0..n).map(|_| gen_vec(d)).collect();
@@ -192,10 +187,7 @@ mod tests {
             let hw = attention_row(&q, &k, &v);
             let reference = attention_row_reference(&q, &k, &v);
             for (i, (&h, &r)) in hw.output.iter().zip(&reference).enumerate() {
-                assert!(
-                    (h - r).abs() < 0.02,
-                    "seed {seed} dim {i}: hw {h} vs ref {r}"
-                );
+                assert!((h - r).abs() < 0.02, "seed {seed} dim {i}: hw {h} vs ref {r}");
             }
             assert!(hw.aaps > 0, "the run must have issued in-array commands");
         }
@@ -215,8 +207,7 @@ mod tests {
         let d = 8;
         let q: Vec<f32> = vec![0.5; d];
         let keys = vec![vec![0.3f32; d]; 4];
-        let values: Vec<Vec<f32>> =
-            (0..4).map(|i| vec![0.2 * (i as f32 + 1.0) / 4.0; d]).collect();
+        let values: Vec<Vec<f32>> = (0..4).map(|i| vec![0.2 * (i as f32 + 1.0) / 4.0; d]).collect();
         let hw = attention_row(&q, &keys, &values);
         // Equal scores → each prob ≈ 1/4, output ≈ mean of the value rows.
         for &p in &hw.probs {

@@ -20,19 +20,20 @@
 
 use crate::arch::{ArchConfig, ArchKind};
 use crate::calib;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use transpim_acu::adder_tree::AcuReduceModel;
 use transpim_acu::data_buffer::DataBufferModel;
 use transpim_acu::divider::DividerModel;
 use transpim_acu::ring::{
-    self, one_to_all_broadcast, pairwise_reduce_hops, schedule_hops, Hop, ScheduleResult,
-    TransferCostModel,
+    self, emit_hop_events, one_to_all_broadcast, pairwise_reduce_hops, schedule_hops,
+    schedule_hops_placed, Hop, HopPlacement, ScheduleResult, TransferCostModel,
 };
 use transpim_dataflow::ir::{BankRange, Program, Step};
-use transpim_hbm::engine::{Engine, Phase};
+use transpim_hbm::engine::{tracks, Engine, Phase};
 use transpim_hbm::geometry::BankId;
 use transpim_hbm::resource::ResourceMap;
 use transpim_hbm::stats::{Category, ScopedStats, SimStats};
+use transpim_obs::{ChromeTraceSink, InstantEvent, ObsError, SinkHandle, SpanEvent};
 use transpim_pim::cost::{PimCostModel, PimOp};
 use transpim_pim::rowclone::RowCloneModel;
 
@@ -55,6 +56,17 @@ pub struct Executor {
     ring_cache: HashMap<(u32, u32, u64), ScheduleResult>,
     broadcast_cache: HashMap<(u32, u32, u64), ScheduleResult>,
     tree_cache: HashMap<(u32, u32, u64), ScheduleResult>,
+    /// Per-hop placements for traced runs, keyed like the cost caches.
+    /// Only populated when a sink is attached.
+    ring_hop_cache: HashMap<(u32, u32, u64), Vec<HopPlacement>>,
+    tree_hop_cache: HashMap<(u32, u32, u64), Vec<HopPlacement>>,
+    /// Ring/tree topologies `(start, count)` that already emitted one
+    /// fully-detailed per-hop exemplar into the trace. The decoder prices
+    /// the same topology thousands of times (with per-step byte counts);
+    /// re-emitting every hop each time swamps the trace and dominates the
+    /// traced run's cost, so later occurrences collapse to a summary span.
+    ring_detail_emitted: HashSet<(u32, u32)>,
+    tree_detail_emitted: HashSet<(u32, u32)>,
 }
 
 impl Executor {
@@ -82,10 +94,7 @@ impl Executor {
         let map = hbm.resource_map(arch.kind.has_buffers());
         let pim = PimCostModel::new(hbm.geometry, hbm.timing, hbm.energy, arch.pim);
         let acu = AcuReduceModel::new(hbm.geometry, hbm.timing, hbm.energy, arch.acu);
-        let buffer = arch
-            .kind
-            .has_buffers()
-            .then(|| DataBufferModel::new(hbm.timing, hbm.energy));
+        let buffer = arch.kind.has_buffers().then(|| DataBufferModel::new(hbm.timing, hbm.energy));
         let rowclone = RowCloneModel::new(hbm.geometry, hbm.timing, hbm.energy);
         let xfer = TransferCostModel::new(hbm.geometry, hbm.energy, arch.kind.has_buffers());
         Self {
@@ -101,6 +110,10 @@ impl Executor {
             ring_cache: HashMap::new(),
             broadcast_cache: HashMap::new(),
             tree_cache: HashMap::new(),
+            ring_hop_cache: HashMap::new(),
+            tree_hop_cache: HashMap::new(),
+            ring_detail_emitted: HashSet::new(),
+            tree_detail_emitted: HashSet::new(),
         }
     }
 
@@ -113,7 +126,20 @@ impl Executor {
     /// latencies include the DRAM refresh stretch (each bank loses `t_RFC`
     /// of every `t_REFI`).
     pub fn run(&mut self, program: &Program) -> (SimStats, ScopedStats) {
-        let mut engine = Engine::new();
+        self.run_with_sink(program, SinkHandle::null())
+    }
+
+    /// Run a program with an observability sink attached: phase spans,
+    /// per-resource occupancy counters and per-hop ring events are emitted
+    /// to `sink` as the engine executes. A [`SinkHandle::null`] sink makes
+    /// this identical to [`Executor::run`] — no events are built and the
+    /// statistics are bit-for-bit the same.
+    pub fn run_with_sink(
+        &mut self,
+        program: &Program,
+        sink: SinkHandle,
+    ) -> (SimStats, ScopedStats) {
+        let mut engine = Engine::with_sink(sink);
         engine.set_latency_scale(1.0 + self.arch.hbm.timing.refresh_overhead());
         self.run_on(program, &mut engine);
         engine.into_stats()
@@ -143,6 +169,23 @@ impl Executor {
                         *total_elems,
                     );
                     let visible_ring = (ring_lat - mul_lat).max(0.0);
+                    if engine.sink().is_enabled() {
+                        // Per-hop detail is meaningless here — rounds overlap
+                        // the multiply — so mark the fused pair instead.
+                        engine.sink().instant(
+                            InstantEvent::new(
+                                "pipelined-ring",
+                                "ring",
+                                tracks::RING,
+                                engine.now_ns(),
+                            )
+                            .with_arg("ring_ns", ring_lat)
+                            .with_arg("mul_ns", mul_lat)
+                            .with_arg("visible_ring_ns", visible_ring)
+                            .with_arg("banks", u64::from(banks.count))
+                            .with_arg("repeat", *repeat),
+                        );
+                    }
                     engine.run(Phase::lump(
                         Category::DataMovement,
                         visible_ring,
@@ -159,16 +202,20 @@ impl Executor {
         }
     }
 
-    /// Run a program with a full phase timeline recorded; returns the
-    /// statistics plus a Chrome-tracing JSON document of the execution
+    /// Run a program with a full Chrome-trace timeline recorded; returns
+    /// the statistics plus a Chrome-tracing JSON document of the execution
     /// (loadable in `chrome://tracing` or Perfetto).
-    pub fn run_traced(&mut self, program: &Program) -> (SimStats, ScopedStats, String) {
-        let mut engine = Engine::with_timeline();
-        engine.set_latency_scale(1.0 + self.arch.hbm.timing.refresh_overhead());
-        self.run_on(program, &mut engine);
-        let trace = engine.chrome_trace().unwrap_or_default();
-        let (stats, scoped) = engine.into_stats();
-        (stats, scoped, trace)
+    ///
+    /// Serialization failures are propagated, not swallowed: a trace that
+    /// was asked for but cannot be produced is an error.
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+    ) -> Result<(SimStats, ScopedStats, String), ObsError> {
+        let chrome = ChromeTraceSink::shared();
+        let (stats, scoped) = self.run_with_sink(program, SinkHandle::from_shared(chrome.clone()));
+        let trace = chrome.borrow().to_json_string()?;
+        Ok((stats, scoped, trace))
     }
 
     fn price(&mut self, step: &Step, engine: &mut Engine) {
@@ -209,8 +256,7 @@ impl Executor {
                 );
                 let lat = per_ns * count_per_bank as f64;
                 let pj = per_pj * total_count as f64;
-                let bytes =
-                    total_count as f64 * f64::from(copies) * f64::from(value_bits) / 8.0;
+                let bytes = total_count as f64 * f64::from(copies) * f64::from(value_bits) / 8.0;
                 engine.run(Phase::lump(Category::DataMovement, lat, pj, bytes));
             }
 
@@ -230,6 +276,9 @@ impl Executor {
 
             Step::RingBroadcast { banks, bytes_per_hop, repeat, parallel } => {
                 let r = self.ring_step(banks, bytes_per_hop);
+                if engine.sink().is_enabled() {
+                    self.emit_ring_hops(engine, banks, bytes_per_hop, repeat, &r);
+                }
                 engine.run(Phase::lump(
                     Category::DataMovement,
                     r.latency_ns * repeat as f64,
@@ -239,6 +288,15 @@ impl Executor {
             }
             Step::OneToAll { src, banks, bytes, parallel } => {
                 let r = self.one_to_all(src, banks, bytes);
+                if engine.sink().is_enabled() {
+                    engine.sink().instant(
+                        InstantEvent::new("one-to-all", "ring", tracks::RING, engine.now_ns())
+                            .with_arg("src_bank", u64::from(src))
+                            .with_arg("banks", u64::from(banks.count))
+                            .with_arg("bytes", bytes)
+                            .with_arg("slots", u64::from(r.slots)),
+                    );
+                }
                 engine.run(Phase::lump(
                     Category::DataMovement,
                     r.latency_ns,
@@ -248,6 +306,9 @@ impl Executor {
             }
             Step::PairwiseReduceTree { banks, bytes, bits, elems, parallel } => {
                 let r = self.reduce_tree_moves(banks, bytes);
+                if engine.sink().is_enabled() {
+                    self.emit_tree_hops(engine, banks, bytes, r.latency_ns);
+                }
                 engine.run(Phase::lump(
                     Category::DataMovement,
                     r.latency_ns,
@@ -356,8 +417,7 @@ impl Executor {
             ),
             ArchKind::Nbp => {
                 let g = &self.arch.hbm.geometry;
-                let per_channel =
-                    vectors_per_bank * u64::from(g.banks_per_channel());
+                let per_channel = vectors_per_bank * u64::from(g.banks_per_channel());
                 let elems = per_channel * u64::from(vec_len);
                 let rate = f64::from(calib::NBP_LANES) * calib::NBP_CLOCK_GHZ;
                 let lat = elems as f64 / rate + per_channel as f64 * calib::NBP_VECTOR_RESTART_NS;
@@ -386,8 +446,8 @@ impl Executor {
                 let lat = iters
                     * (2.0 * self.pim.latency_ns(mul, per_bank)
                         + self.pim.latency_ns(add, per_bank));
-                let pj = iters
-                    * (2.0 * self.pim.energy_pj(mul, total) + self.pim.energy_pj(add, total));
+                let pj =
+                    iters * (2.0 * self.pim.energy_pj(mul, total) + self.pim.energy_pj(add, total));
                 (lat, pj)
             }
             ArchKind::Nbp => {
@@ -405,7 +465,11 @@ impl Executor {
     // ---- movement pricing ------------------------------------------------
 
     fn layout_factor(&self) -> f64 {
-        if self.arch.kind.computes_in_memory() { calib::LAYOUT_REORG_OVERHEAD } else { 1.0 }
+        if self.arch.kind.computes_in_memory() {
+            calib::LAYOUT_REORG_OVERHEAD
+        } else {
+            1.0
+        }
     }
 
     fn host_broadcast(&self, bytes: u64, banks: u32) -> (f64, f64) {
@@ -445,8 +509,7 @@ impl Executor {
             + self.layout_factor() * per_channel / self.stream_floor_gbs.min(bus.channel_gbs);
         let e = &self.arch.hbm.energy;
         let bits = b * 8.0;
-        let pj = bits * (e.e_io + e.e_post_gsa)
-            + self.xfer.bank_write_energy_pj(total_bytes);
+        let pj = bits * (e.e_io + e.e_post_gsa) + self.xfer.bank_write_energy_pj(total_bytes);
         (lat, pj)
     }
 
@@ -548,6 +611,100 @@ impl Executor {
         total
     }
 
+    // ---- trace emission ---------------------------------------------------
+
+    /// Emit per-hop span events for one ring step starting at the engine's
+    /// current timestamp, plus a single summary span for the remaining
+    /// `repeat - 1` identical rounds. Per-hop detail is emitted for the
+    /// *first* occurrence of each ring topology only; later occurrences
+    /// collapse to one summary span (see `ring_detail_emitted`).
+    fn emit_ring_hops(
+        &mut self,
+        engine: &Engine,
+        banks: BankRange,
+        bytes: u64,
+        repeat: u64,
+        r: &ScheduleResult,
+    ) {
+        let scale = engine.latency_scale();
+        let base = engine.now_ns();
+        if !self.ring_detail_emitted.insert((banks.start, banks.count)) {
+            engine.sink().span(
+                SpanEvent::new(
+                    "ring",
+                    "ring",
+                    tracks::RING,
+                    base,
+                    r.latency_ns * repeat as f64 * scale,
+                )
+                .with_arg("banks", u64::from(banks.count))
+                .with_arg("bytes_per_hop", bytes)
+                .with_arg("slots", u64::from(r.slots))
+                .with_arg("rounds", repeat),
+            );
+            return;
+        }
+        let key = (banks.start, banks.count, bytes);
+        if !self.ring_hop_cache.contains_key(&key) {
+            let ids = banks.to_vec();
+            let hops: Vec<Hop> = ring::ring_step_hops(&ids, bytes);
+            let (_, placed) = schedule_hops_placed(&self.map, &self.xfer, &hops);
+            self.ring_hop_cache.insert(key, placed);
+        }
+        emit_hop_events(engine.sink(), &self.map, base, scale, &self.ring_hop_cache[&key]);
+        if repeat > 1 {
+            engine.sink().span(
+                SpanEvent::new(
+                    format!("ring x{}", repeat - 1),
+                    "ring",
+                    tracks::RING,
+                    base + r.latency_ns * scale,
+                    r.latency_ns * (repeat - 1) as f64 * scale,
+                )
+                .with_arg("banks", u64::from(banks.count))
+                .with_arg("bytes_per_hop", bytes)
+                .with_arg("slots", u64::from(r.slots)),
+            );
+        }
+    }
+
+    /// Emit per-hop span events for the pairwise reduction tree: each
+    /// halving level's hops are placed by the slotted scheduler and offset
+    /// by the cumulative latency of the levels before it. As with rings,
+    /// only the first occurrence of a topology gets per-hop detail; later
+    /// occurrences emit one summary span of the scheduled latency.
+    fn emit_tree_hops(&mut self, engine: &Engine, banks: BankRange, bytes: u64, total_ns: f64) {
+        let scale = engine.latency_scale();
+        let base = engine.now_ns();
+        if !self.tree_detail_emitted.insert((banks.start, banks.count)) {
+            engine.sink().span(
+                SpanEvent::new("reduce-tree", "ring", tracks::RING, base, total_ns * scale)
+                    .with_arg("banks", u64::from(banks.count))
+                    .with_arg("bytes", bytes),
+            );
+            return;
+        }
+        let key = (banks.start, banks.count, bytes);
+        if !self.tree_hop_cache.contains_key(&key) {
+            let ids = banks.to_vec();
+            let mut all = Vec::new();
+            let mut offset = 0.0;
+            let mut stride = 1usize;
+            while stride < ids.len() {
+                let hops: Vec<Hop> = pairwise_reduce_hops(&ids, stride, bytes);
+                let (r, placed) = schedule_hops_placed(&self.map, &self.xfer, &hops);
+                all.extend(placed.into_iter().map(|mut p| {
+                    p.start_ns += offset;
+                    p
+                }));
+                offset += r.latency_ns;
+                stride *= 2;
+            }
+            self.tree_hop_cache.insert(key, all);
+        }
+        emit_hop_events(engine.sink(), &self.map, base, scale, &self.tree_hop_cache[&key]);
+    }
+
     /// Expose the ring-step scheduler for ablation benches: cost of one
     /// full ring step over `banks` with `bytes` per hop.
     pub fn ring_step_cost(&mut self, banks: BankRange, bytes: u64) -> ScheduleResult {
@@ -568,7 +725,6 @@ impl Executor {
     pub fn reduce_tree_cost(&mut self, banks: BankRange, bytes: u64) -> ScheduleResult {
         self.reduce_tree_moves(banks, bytes)
     }
-
 }
 
 #[cfg(test)]
@@ -581,11 +737,8 @@ mod tests {
     fn run(kind: ArchKind, token: bool, w: &Workload) -> SimStats {
         let arch = ArchConfig::new(kind);
         let banks = arch.hbm.geometry.total_banks();
-        let prog = if token {
-            token_flow::compile(w, banks)
-        } else {
-            layer_flow::compile(w, banks)
-        };
+        let prog =
+            if token { token_flow::compile(w, banks) } else { layer_flow::compile(w, banks) };
         let mut ex = Executor::new(arch);
         ex.run(&prog).0
     }
@@ -718,5 +871,80 @@ mod tests {
     fn precision_default_is_paper_precision() {
         let p = Precision::default();
         assert_eq!((p.act_bits, p.softmax_bits, p.taylor_order), (8, 16, 5));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_parses() {
+        let w = small_workload();
+        let arch = ArchConfig::new(ArchKind::TransPim);
+        let banks = arch.hbm.geometry.total_banks();
+        let prog = token_flow::compile(&w, banks);
+        let (plain, plain_scoped) = Executor::new(arch.clone()).run(&prog);
+        let (traced, traced_scoped, trace) =
+            Executor::new(arch).run_traced(&prog).expect("trace must serialize");
+        assert_eq!(plain, traced, "tracing must not perturb the statistics");
+        assert_eq!(plain_scoped, traced_scoped);
+        let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = parsed.as_array().expect("chrome trace is a JSON array");
+        assert!(!events.is_empty(), "a real program must emit events");
+        // Ring-hop spans from the communication scheduler are present.
+        assert!(events.iter().any(|e| e["cat"] == "ring"), "per-hop ring events expected");
+    }
+
+    #[test]
+    fn ring_hop_spans_nest_inside_their_phase() {
+        let mut ex = Executor::new(ArchConfig::new(ArchKind::TransPim));
+        let mut prog = transpim_dataflow::ir::Program::new();
+        prog.push(Step::RingBroadcast {
+            banks: BankRange { start: 0, count: 8 },
+            bytes_per_hop: 256,
+            repeat: 3,
+            parallel: 1,
+        });
+        let chrome = ChromeTraceSink::shared();
+        ex.run_with_sink(&prog, SinkHandle::from_shared(chrome.clone()));
+        let sink = chrome.borrow();
+        let spans: Vec<_> = sink
+            .sorted_events()
+            .into_iter()
+            .filter(|e| e.ph == "X" && e.cat != "__metadata")
+            .collect();
+        let phase = spans.iter().find(|e| e.cat == "data-movement").expect("phase span");
+        let phase_end = phase.ts + phase.dur.unwrap_or(0.0);
+        let hops: Vec<_> = spans.iter().filter(|e| e.cat == "ring").collect();
+        assert!(!hops.is_empty());
+        for h in &hops {
+            let end = h.ts + h.dur.unwrap_or(0.0);
+            assert!(
+                h.ts >= phase.ts - 1e-9 && end <= phase_end + 1e-9,
+                "hop [{}, {end}] escapes phase [{}, {phase_end}]",
+                h.ts,
+                phase.ts,
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_ring_topologies_collapse_to_summary_spans() {
+        // The decoder prices the same ring/tree topology thousands of
+        // times; only the first occurrence may emit per-hop detail or the
+        // trace size (and traced-run cost) grows with the step count.
+        let mut ex = Executor::new(ArchConfig::new(ArchKind::TransPim));
+        let mut prog = transpim_dataflow::ir::Program::new();
+        let banks = BankRange { start: 0, count: 8 };
+        for bytes in [256, 512, 1024] {
+            prog.push(Step::RingBroadcast { banks, bytes_per_hop: bytes, repeat: 1, parallel: 1 });
+            prog.push(Step::PairwiseReduceTree { banks, bytes, bits: 16, elems: 64, parallel: 1 });
+        }
+        let chrome = ChromeTraceSink::shared();
+        ex.run_with_sink(&prog, SinkHandle::from_shared(chrome.clone()));
+        let sink = chrome.borrow();
+        let events = sink.sorted_events();
+        let hop_count = events.iter().filter(|e| e.name.starts_with("hop ")).count();
+        // One detailed exemplar per topology: 8 ring hops (full ring
+        // round) + 7 tree hops (4 + 2 + 1 halving levels).
+        assert_eq!(hop_count, 15, "per-hop detail must not repeat per occurrence");
+        assert_eq!(events.iter().filter(|e| e.name == "ring").count(), 2);
+        assert_eq!(events.iter().filter(|e| e.name == "reduce-tree").count(), 2);
     }
 }

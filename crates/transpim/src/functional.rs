@@ -8,9 +8,7 @@
 //! reduction trees).
 
 use serde::{Deserialize, Serialize};
-use transpim_dataflow::functional::{
-    decoder_layer_step_sharded, encoder_layer_sharded, ShardedKv,
-};
+use transpim_dataflow::functional::{decoder_layer_step_sharded, encoder_layer_sharded, ShardedKv};
 use transpim_transformer::layers::{CrossContext, KvCache};
 use transpim_transformer::matrix::Matrix;
 use transpim_transformer::model::{ModelConfig, ModelWeights, ReferenceModel};
@@ -51,10 +49,7 @@ pub fn verify_token_dataflow(
     n_banks: usize,
     kind: SoftmaxKind,
 ) -> VerifyResult {
-    assert!(
-        cfg.encoder_layers > 0 || cfg.decoder_layers > 0,
-        "model has no layers to verify"
-    );
+    assert!(cfg.encoder_layers > 0 || cfg.decoder_layers > 0, "model has no layers to verify");
     let input = Matrix::from_fn(seq_len, cfg.d_model, |r, c| {
         (((r * 131 + c * 17) % 97) as f32 / 97.0 - 0.5) * 1.2
     });
@@ -76,11 +71,8 @@ pub fn verify_token_dataflow(
         let ref_dec = reference.decode(&start, enc_ctx, decode_steps);
 
         // Sharded decoder state.
-        let mut self_kvs: Vec<ShardedKv> = weights
-            .decoder
-            .iter()
-            .map(|_| ShardedKv::empty(n_banks, cfg.d_model))
-            .collect();
+        let mut self_kvs: Vec<ShardedKv> =
+            weights.decoder.iter().map(|_| ShardedKv::empty(n_banks, cfg.d_model)).collect();
         let cross_kvs: Vec<Option<ShardedKv>> = weights
             .decoder
             .iter()
@@ -118,7 +110,8 @@ pub fn verify_token_dataflow(
             decoder_max_diff = ref_dec.max_abs_diff(&sharded_dec);
         } else {
             // Compare against a reference that prefilled the same prefix.
-            let ref_dec = reference_decode_with_prefix(cfg, weights, &input, &start, decode_steps, kind);
+            let ref_dec =
+                reference_decode_with_prefix(cfg, weights, &input, &start, decode_steps, kind);
             decoder_max_diff = ref_dec.max_abs_diff(&sharded_dec);
         }
     }
@@ -158,7 +151,12 @@ fn reference_decode_with_prefix(
         let mut x = x.clone();
         for (i, layer) in weights.decoder.iter().enumerate() {
             x = transpim_transformer::layers::decoder_layer_step(
-                &x, layer, &mut caches[i], None, cfg.heads, kind,
+                &x,
+                layer,
+                &mut caches[i],
+                None,
+                cfg.heads,
+                kind,
             );
         }
         x

@@ -53,3 +53,9 @@ pub use report::{DataflowKind, SimReport};
 
 // Re-export the step type the engine interprets, for downstream tooling.
 pub use transpim_dataflow::ir::Step;
+
+// Re-export the observability surface so downstream tooling can attach
+// sinks without depending on `transpim-obs` directly.
+pub use transpim_obs::{
+    ChromeTraceSink, FanoutSink, MetricsSink, NullSink, ObsError, Sink, SinkHandle,
+};

@@ -75,7 +75,11 @@ impl SimReport {
     /// Energy efficiency in GOP/J.
     pub fn gop_per_joule(&self) -> f64 {
         let j = self.stats.total_energy_j();
-        if j <= 0.0 { 0.0 } else { self.total_ops as f64 * 1e-9 / j }
+        if j <= 0.0 {
+            0.0
+        } else {
+            self.total_ops as f64 * 1e-9 / j
+        }
     }
 
     /// Average power in watts.

@@ -33,11 +33,8 @@ fn main() {
         w.decode_len = 0;
         let gpu_ms = gpu.batch_time_s(&w) * 1e3;
         let scores = gpu_scores_gb(&w);
-        let gpu_cell = if scores > 11.0 {
-            "OOM (est.)".to_string()
-        } else {
-            format!("{gpu_ms:.0} ms")
-        };
+        let gpu_cell =
+            if scores > 11.0 { "OOM (est.)".to_string() } else { format!("{gpu_ms:.0} ms") };
         let mut cells = Vec::new();
         for stacks in [1u32, 4, 8] {
             let acc = Accelerator::new(ArchConfig::new(ArchKind::TransPim).with_stacks(stacks));

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints, and the full test suite — all offline.
+#
+#   ./scripts/check.sh            # run everything
+#   ./scripts/check.sh --fast     # skip the release build
+#
+# The repository is developed against an offline registry (see README
+# "Offline-build constraint"); --offline makes a network-touching
+# dependency change fail here instead of in CI.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --offline --workspace --release
+fi
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "All checks passed."

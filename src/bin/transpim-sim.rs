@@ -14,6 +14,7 @@
 
 use std::process::ExitCode;
 use transpim::accelerator::Accelerator;
+use transpim::{ChromeTraceSink, FanoutSink, MetricsSink, SinkHandle};
 
 /// Capacity warning helper (token dataflow per-bank working set).
 mod transpim_repro_capacity {
@@ -61,6 +62,7 @@ struct Options {
     all: bool,
     json: Option<String>,
     trace: Option<String>,
+    metrics: Option<String>,
     dump_ir: Option<String>,
 }
 
@@ -87,7 +89,10 @@ OPTIONS:
   --decode <N>         override generated-token count
   --all                run all 8 dataflow×architecture systems
   --json <PATH>        write the report(s) as JSON
-  --trace <PATH>       write a Chrome-tracing timeline (single-system mode)
+  --trace <PATH>       write a Chrome-tracing timeline (single-system mode;
+                       open in chrome://tracing or https://ui.perfetto.dev)
+  --metrics <PATH>     write flat aggregated metrics (single-system mode;
+                       JSON, or CSV when PATH ends in .csv)
   --dump-ir <PATH>     write the compiled dataflow program as JSON
   --help               show this help
 ";
@@ -139,6 +144,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         all: false,
         json: None,
         trace: None,
+        metrics: None,
         dump_ir: None,
     };
     let mut batch = None;
@@ -146,16 +152,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut decode = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
         match a.as_str() {
             "--workload" => o.workload = parse_workload(&value("--workload")?)?,
             "--model" => {
                 let name = value("--model")?;
-                o.workload.model =
-                    transpim_transformer::model::ModelConfig::by_name(&name)
-                        .ok_or_else(|| format!("unknown model '{name}'"))?;
+                o.workload.model = transpim_transformer::model::ModelConfig::by_name(&name)
+                    .ok_or_else(|| format!("unknown model '{name}'"))?;
             }
             "--arch" => o.arch = parse_arch(&value("--arch")?)?,
             "--dataflow" => {
@@ -165,15 +169,28 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown dataflow '{other}'")),
                 }
             }
-            "--stacks" => o.stacks = value("--stacks")?.parse().map_err(|e| format!("--stacks: {e}"))?,
-            "--p-sub" => o.p_sub = value("--p-sub")?.parse().map_err(|e| format!("--p-sub: {e}"))?,
-            "--p-add" => o.p_add = value("--p-add")?.parse().map_err(|e| format!("--p-add: {e}"))?,
-            "--batch" => batch = Some(value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?),
-            "--seq-len" => seq_len = Some(value("--seq-len")?.parse().map_err(|e| format!("--seq-len: {e}"))?),
-            "--decode" => decode = Some(value("--decode")?.parse().map_err(|e| format!("--decode: {e}"))?),
+            "--stacks" => {
+                o.stacks = value("--stacks")?.parse().map_err(|e| format!("--stacks: {e}"))?
+            }
+            "--p-sub" => {
+                o.p_sub = value("--p-sub")?.parse().map_err(|e| format!("--p-sub: {e}"))?
+            }
+            "--p-add" => {
+                o.p_add = value("--p-add")?.parse().map_err(|e| format!("--p-add: {e}"))?
+            }
+            "--batch" => {
+                batch = Some(value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?)
+            }
+            "--seq-len" => {
+                seq_len = Some(value("--seq-len")?.parse().map_err(|e| format!("--seq-len: {e}"))?)
+            }
+            "--decode" => {
+                decode = Some(value("--decode")?.parse().map_err(|e| format!("--decode: {e}"))?)
+            }
             "--all" => o.all = true,
             "--json" => o.json = Some(value("--json")?),
             "--trace" => o.trace = Some(value("--trace")?),
+            "--metrics" => o.metrics = Some(value("--metrics")?),
             "--dump-ir" => o.dump_ir = Some(value("--dump-ir")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option '{other}'")),
@@ -215,6 +232,9 @@ fn main() -> ExitCode {
     };
 
     if opts.all {
+        if opts.trace.is_some() || opts.metrics.is_some() {
+            eprintln!("warning: --trace/--metrics apply to single-system runs; ignored with --all");
+        }
         let mut reports = Vec::new();
         for kind in ArchKind::ALL {
             for df in DataflowKind::ALL {
@@ -263,7 +283,25 @@ fn main() -> ExitCode {
         check(&opts.workload, acc.arch());
     }
 
-    let (report, trace) = acc.simulate_traced(&opts.workload, opts.dataflow);
+    // Attach observability sinks only for the outputs that were asked for;
+    // with neither --trace nor --metrics the run carries a null sink and
+    // pays nothing for instrumentation.
+    let chrome = opts.trace.as_ref().map(|_| ChromeTraceSink::shared());
+    let metrics = opts.metrics.as_ref().map(|_| MetricsSink::shared());
+    let mut handles: Vec<SinkHandle> = Vec::new();
+    if let Some(c) = &chrome {
+        handles.push(SinkHandle::from_shared(c.clone()));
+    }
+    if let Some(m) = &metrics {
+        handles.push(SinkHandle::from_shared(m.clone()));
+    }
+    let sink = match handles.len() {
+        0 => SinkHandle::null(),
+        1 => handles.pop().expect("one handle"),
+        _ => SinkHandle::new(FanoutSink::new(handles)),
+    };
+
+    let report = acc.simulate_with_sink(&opts.workload, opts.dataflow, sink);
     println!("{}", report.summary());
     println!();
     println!("per-layer-kind breakdown:");
@@ -289,12 +327,27 @@ fn main() -> ExitCode {
             }
         }
     }
-    if let Some(path) = &opts.trace {
-        if let Err(e) = std::fs::write(path, trace) {
+    if let (Some(path), Some(chrome)) = (&opts.trace, &chrome) {
+        if let Err(e) = chrome.borrow().write_to(path) {
             eprintln!("error: writing {path}: {e}");
             return ExitCode::from(1);
         }
         eprintln!("[trace written to {path} — open in chrome://tracing or Perfetto]");
+    }
+    if let (Some(path), Some(metrics)) = (&opts.metrics, &metrics) {
+        {
+            // Headline report figures alongside the per-span aggregates.
+            let mut m = metrics.borrow_mut();
+            m.push_metric("report.latency_ms", report.latency_ms());
+            m.push_metric("report.energy_mj", report.stats.total_energy_pj() * 1e-9);
+            m.push_metric("report.bytes_moved", report.stats.bytes_moved);
+            m.push_metric("report.utilization", report.utilization());
+        }
+        if let Err(e) = metrics.borrow().write_to(path) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("[metrics written to {path}]");
     }
     ExitCode::SUCCESS
 }

@@ -23,7 +23,8 @@ fn single_layer_sharded_encoder_matches_reference_across_bank_counts() {
     let x = input(12, cfg.d_model, 0);
     let reference = encoder_layer(&x, &w.encoder[0], cfg.heads, SoftmaxKind::Exact);
     for banks in [1usize, 2, 3, 4, 6, 12, 24] {
-        let sharded = encoder_layer_sharded(&x, &w.encoder[0], cfg.heads, SoftmaxKind::Exact, banks);
+        let sharded =
+            encoder_layer_sharded(&x, &w.encoder[0], cfg.heads, SoftmaxKind::Exact, banks);
         let diff = reference.max_abs_diff(&sharded);
         assert!(diff < 1e-4, "banks={banks}: max diff {diff}");
     }

@@ -57,8 +57,7 @@ fn compiled_programs_roundtrip() {
 fn reports_roundtrip_with_scoped_stats() {
     let mut w = Workload::imdb();
     w.model.encoder_layers = 1;
-    let r = Accelerator::new(ArchConfig::new(ArchKind::TransPim))
-        .simulate(&w, DataflowKind::Token);
+    let r = Accelerator::new(ArchConfig::new(ArchKind::TransPim)).simulate(&w, DataflowKind::Token);
     let back = roundtrip(&r);
     // Floats may lose an ulp through JSON text; compare semantically.
     assert_eq!(back.system, r.system);

@@ -125,13 +125,19 @@ fn stack_scaling_helps_long_sequences_more() {
 #[test]
 fn energy_breakdown_and_bandwidth_are_consistent() {
     for w in small_suite() {
-        for (df, kind) in [(DataflowKind::Token, ArchKind::TransPim), (DataflowKind::Layer, ArchKind::Nbp)] {
+        for (df, kind) in
+            [(DataflowKind::Token, ArchKind::TransPim), (DataflowKind::Layer, ArchKind::Nbp)]
+        {
             let r = simulate(kind, df, &w, 8);
             let time_sum: f64 = r.stats.time_ns.iter().sum();
             assert!((time_sum - r.stats.latency_ns).abs() < 1e-6 * r.stats.latency_ns);
             assert!(r.stats.total_energy_pj() > 0.0);
             assert!(r.average_bandwidth_gbs() > 0.0);
-            assert!(r.average_bandwidth_gbs() < 100_000.0, "bandwidth insane: {}", r.average_bandwidth_gbs());
+            assert!(
+                r.average_bandwidth_gbs() < 100_000.0,
+                "bandwidth insane: {}",
+                r.average_bandwidth_gbs()
+            );
             assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
         }
     }

@@ -3,10 +3,10 @@
 //! simulator uses them (the "modified Ramulator" pinning).
 
 use proptest::prelude::*;
+use transpim_acu::adder_tree::{AcuParams, AcuReduceModel};
 use transpim_hbm::command::{acu_reduce_trace, pim_batch_trace};
 use transpim_hbm::config::HbmConfig;
 use transpim_hbm::timing::TimingParams;
-use transpim_acu::adder_tree::{AcuParams, AcuReduceModel};
 use transpim_pim::cost::{PimCostModel, PimCostParams, PimOp};
 
 fn pim_model() -> PimCostModel {
