@@ -7,10 +7,9 @@
 //! traffic the attention blocks can hide at each sequence length.
 
 use serde::Serialize;
-use transpim::accelerator::Accelerator;
 use transpim::arch::{ArchConfig, ArchKind};
 use transpim::report::DataflowKind;
-use transpim_bench::write_json;
+use transpim_bench::{jobs_from_args, run_grid, write_json, GridCell};
 use transpim_hbm::stats::Category;
 use transpim_transformer::workload::Workload;
 
@@ -29,15 +28,32 @@ fn main() {
         "{:>8} {:>12} {:>12} {:>8} {:>14}",
         "L", "barrier", "pipelined", "gain", "movement hidden"
     );
+    let lengths = [512usize, 2048, 8192, 32768];
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&mut args).unwrap_or_else(|e| {
+        eprintln!("error: {e}\nusage: ablation_pipelining [--jobs N]");
+        std::process::exit(2);
+    });
+    let cells: Vec<GridCell> = lengths
+        .iter()
+        .flat_map(|&l| {
+            let mut w = Workload::synthetic_pegasus(l);
+            w.decode_len = 0;
+            [
+                GridCell::custom(ArchConfig::new(ArchKind::TransPim), DataflowKind::Token, &w),
+                GridCell::custom(
+                    ArchConfig::new(ArchKind::TransPim).with_pipelined_ring(true),
+                    DataflowKind::Token,
+                    &w,
+                ),
+            ]
+        })
+        .collect();
+    let mut reports = run_grid(jobs, false, false, cells).into_iter().map(|o| o.report);
     let mut rows = Vec::new();
-    for l in [512usize, 2048, 8192, 32768] {
-        let mut w = Workload::synthetic_pegasus(l);
-        w.decode_len = 0;
-        let barrier =
-            Accelerator::new(ArchConfig::new(ArchKind::TransPim)).simulate(&w, DataflowKind::Token);
-        let pipelined =
-            Accelerator::new(ArchConfig::new(ArchKind::TransPim).with_pipelined_ring(true))
-                .simulate(&w, DataflowKind::Token);
+    for l in lengths {
+        let barrier = reports.next().expect("barrier report");
+        let pipelined = reports.next().expect("pipelined report");
         let mb = barrier.stats.time_ns[Category::DataMovement.index()];
         let mp = pipelined.stats.time_ns[Category::DataMovement.index()];
         let row = Row {

@@ -9,10 +9,9 @@
 //! in-DRAM-compute proposal built on Table I-class timing.
 
 use serde::Serialize;
-use transpim::accelerator::Accelerator;
 use transpim::arch::{ArchConfig, ArchKind};
 use transpim::report::DataflowKind;
-use transpim_bench::write_json;
+use transpim_bench::{jobs_from_args, run_grid, write_json, GridCell};
 use transpim_transformer::workload::Workload;
 
 #[derive(Serialize)]
@@ -27,17 +26,29 @@ fn main() {
     println!("Ablation: enforcing the JEDEC four-activation window on PIM (TriviaQA)");
     println!("{:>8} {:>12} {:>12} {:>10}", "P_sub", "relaxed", "tFAW", "slowdown");
     let w = Workload::triviaqa();
+    let p_subs = [4u32, 8, 16, 32];
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&mut args).unwrap_or_else(|e| {
+        eprintln!("error: {e}\nusage: ablation_tfaw [--jobs N]");
+        std::process::exit(2);
+    });
+    let cells: Vec<GridCell> = p_subs
+        .iter()
+        .flat_map(|&p_sub| {
+            let relaxed = ArchConfig::new(ArchKind::TransPim).with_acu(p_sub, 4);
+            let mut enforced = ArchConfig::new(ArchKind::TransPim).with_acu(p_sub, 4);
+            enforced.pim.enforce_faw = true;
+            [
+                GridCell::custom(relaxed, DataflowKind::Token, &w),
+                GridCell::custom(enforced, DataflowKind::Token, &w),
+            ]
+        })
+        .collect();
+    let mut reports = run_grid(jobs, false, false, cells).into_iter().map(|o| o.report);
     let mut rows = Vec::new();
-    for p_sub in [4u32, 8, 16, 32] {
-        let relaxed = {
-            let arch = ArchConfig::new(ArchKind::TransPim).with_acu(p_sub, 4);
-            Accelerator::new(arch).simulate(&w, DataflowKind::Token).latency_ms()
-        };
-        let enforced = {
-            let mut arch = ArchConfig::new(ArchKind::TransPim).with_acu(p_sub, 4);
-            arch.pim.enforce_faw = true;
-            Accelerator::new(arch).simulate(&w, DataflowKind::Token).latency_ms()
-        };
+    for p_sub in p_subs {
+        let relaxed = reports.next().expect("relaxed report").latency_ms();
+        let enforced = reports.next().expect("enforced report").latency_ms();
         let row =
             Row { p_sub, relaxed_ms: relaxed, enforced_ms: enforced, slowdown: enforced / relaxed };
         println!(

@@ -8,7 +8,7 @@
 
 use serde::Serialize;
 use transpim_baselines::gpu::PlatformModel;
-use transpim_bench::{all_systems, run_system, write_json};
+use transpim_bench::{all_systems, jobs_from_args, run_grid, write_json, GridCell};
 use transpim_transformer::workload::Workload;
 
 #[derive(Serialize)]
@@ -23,12 +23,27 @@ struct Row {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&mut args).unwrap_or_else(|e| {
+        eprintln!("error: {e}\nusage: fig10_performance [--jobs N]");
+        std::process::exit(2);
+    });
     let gpu = PlatformModel::rtx_2080_ti();
     let tpu = PlatformModel::tpu_v3();
     let mut rows: Vec<Row> = Vec::new();
 
+    // Fan the whole workload × system grid out to the pool up front;
+    // reports come back in submission order, so the per-workload sections
+    // below print exactly as the serial loop did.
+    let suite = Workload::paper_suite();
+    let cells: Vec<GridCell> = suite
+        .iter()
+        .flat_map(|w| all_systems().into_iter().map(|(df, kind)| GridCell::system(kind, df, w, 8)))
+        .collect();
+    let mut reports = run_grid(jobs, false, false, cells).into_iter().map(|o| o.report);
+
     println!("Figure 10: performance and energy efficiency (normalized to GPU)");
-    for w in Workload::paper_suite() {
+    for w in suite {
         let gpu_s = gpu.batch_time_s(&w);
         let gpu_eff = gpu.gop_per_joule(&w);
         let tpu_s = tpu.batch_time_s(&w);
@@ -60,8 +75,8 @@ fn main() {
             energy_eff_vs_gpu: tpu.gop_per_joule(&w) / gpu_eff,
         });
 
-        for (df, kind) in all_systems() {
-            let r = run_system(kind, df, &w, 8);
+        for _ in all_systems() {
+            let r = reports.next().expect("one report per grid cell");
             let speedup = gpu_s / (r.latency_ms() * 1e-3);
             let eff = r.gop_per_joule() / gpu_eff;
             println!(

@@ -9,7 +9,7 @@
 
 use serde::Serialize;
 use transpim::report::DataflowKind;
-use transpim_bench::{all_systems, run_system, run_system_observed, write_json, ObsSession};
+use transpim_bench::{all_systems, jobs_from_args, run_grid, write_json, GridCell, ObsSession};
 use transpim_hbm::stats::Category;
 use transpim_transformer::workload::Workload;
 
@@ -37,16 +37,24 @@ struct LayerRow {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let obs = ObsSession::extract(&mut args).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
+    let fail = |e: String| -> ! {
+        eprintln!("error: {e}\nusage: fig11_breakdown [--jobs N] [--trace t.json] [--metrics m.json|m.csv]");
         std::process::exit(2);
-    });
+    };
+    let jobs = jobs_from_args(&mut args).unwrap_or_else(|e| fail(e));
+    let obs = ObsSession::extract(&mut args).unwrap_or_else(|e| fail(e));
     let mut rows = Vec::new();
     println!("Figure 11(a): operation breakdown per system");
-    for w in [Workload::imdb(), Workload::pubmed(), Workload::lm()] {
+    let workloads_a = [Workload::imdb(), Workload::pubmed(), Workload::lm()];
+    let cells_a: Vec<GridCell> = workloads_a
+        .iter()
+        .flat_map(|w| all_systems().into_iter().map(|(df, kind)| GridCell::system(kind, df, w, 8)))
+        .collect();
+    let mut reports_a = obs.run_grid(jobs, cells_a).into_iter();
+    for w in &workloads_a {
         transpim_bench::rule(96);
-        for (df, kind) in all_systems() {
-            let r = run_system_observed(kind, df, &w, 8, obs.sink());
+        for _ in all_systems() {
+            let r = reports_a.next().expect("one report per grid cell");
             let row = SystemRow {
                 workload: w.name.clone(),
                 system: r.system.clone(),
@@ -102,12 +110,27 @@ fn main() {
     println!();
     println!("Figure 11(b): layer-wise breakdown (normalized to Token-TransPIM total)");
     let mut layer_rows = Vec::new();
-    for w in [Workload::pubmed(), Workload::synthetic_pegasus(32 * 1024)] {
-        let base = run_system(transpim::arch::ArchKind::TransPim, DataflowKind::Token, &w, 8);
+    // Part (b): one base cell plus the eight systems, per workload.
+    let workloads_b = [Workload::pubmed(), Workload::synthetic_pegasus(32 * 1024)];
+    let cells_b: Vec<GridCell> = workloads_b
+        .iter()
+        .flat_map(|w| {
+            std::iter::once(GridCell::system(
+                transpim::arch::ArchKind::TransPim,
+                DataflowKind::Token,
+                w,
+                8,
+            ))
+            .chain(all_systems().into_iter().map(|(df, kind)| GridCell::system(kind, df, w, 8)))
+        })
+        .collect();
+    let mut reports_b = run_grid(jobs, false, false, cells_b).into_iter().map(|o| o.report);
+    for w in &workloads_b {
+        let base = reports_b.next().expect("base report");
         let base_total = base.stats.latency_ns;
         transpim_bench::rule(96);
-        for (df, kind) in all_systems() {
-            let r = run_system(kind, df, &w, 8);
+        for _ in all_systems() {
+            let r = reports_b.next().expect("one report per grid cell");
             for (scope, s) in r.scoped.iter() {
                 let row = LayerRow {
                     workload: w.name.clone(),

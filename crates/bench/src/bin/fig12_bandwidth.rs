@@ -6,7 +6,7 @@
 //! *raising* a given dataflow's bandwidth usage because latency drops.
 
 use serde::Serialize;
-use transpim_bench::{all_systems, run_system, write_json};
+use transpim_bench::{all_systems, jobs_from_args, run_grid, write_json, GridCell};
 use transpim_hbm::config::HbmConfig;
 use transpim_transformer::workload::Workload;
 
@@ -18,13 +18,24 @@ struct Row {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&mut args).unwrap_or_else(|e| {
+        eprintln!("error: {e}\nusage: fig12_bandwidth [--jobs N]");
+        std::process::exit(2);
+    });
     let aggregate = HbmConfig::default().aggregated_bandwidth_gbs();
     println!("Figure 12: average bandwidth usage (aggregate available: {aggregate:.0} GB/s)");
+    let suite = Workload::paper_suite();
+    let cells: Vec<GridCell> = suite
+        .iter()
+        .flat_map(|w| all_systems().into_iter().map(|(df, kind)| GridCell::system(kind, df, w, 8)))
+        .collect();
+    let mut reports = run_grid(jobs, false, false, cells).into_iter().map(|o| o.report);
     let mut rows = Vec::new();
-    for w in Workload::paper_suite() {
+    for w in suite {
         transpim_bench::rule(64);
-        for (df, kind) in all_systems() {
-            let r = run_system(kind, df, &w, 8);
+        for _ in all_systems() {
+            let r = reports.next().expect("one report per grid cell");
             let row = Row {
                 workload: w.name.clone(),
                 system: r.system.clone(),

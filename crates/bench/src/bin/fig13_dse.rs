@@ -6,12 +6,11 @@
 //!     picks `P_sub = 8–16` because `P_sub = 64` costs 15.8% area for 5.4×.
 
 use serde::Serialize;
-use transpim::accelerator::Accelerator;
 use transpim::arch::{ArchConfig, ArchKind};
 use transpim::report::DataflowKind;
 use transpim_acu::adder_tree::{AcuParams, AcuReduceModel};
 use transpim_acu::area::AreaModel;
-use transpim_bench::write_json;
+use transpim_bench::{jobs_from_args, run_grid, write_json, GridCell};
 use transpim_hbm::config::HbmConfig;
 use transpim_transformer::workload::Workload;
 
@@ -42,9 +41,35 @@ fn bert_workload() -> Workload {
     w
 }
 
+const P_ADD_SWEEP: [u32; 5] = [1, 2, 4, 8, 16];
+const P_SUB_SWEEP: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&mut args).unwrap_or_else(|e| {
+        eprintln!("error: {e}\nusage: fig13_dse [--jobs N]");
+        std::process::exit(2);
+    });
     let hbm = HbmConfig::default();
     let w = bert_workload();
+
+    // Every end-to-end simulation of both sweeps, fanned out to the pool:
+    // the P_add cells, the P_sub = 1 baseline, then the P_sub cells.
+    let mut cells: Vec<GridCell> = Vec::new();
+    for p_add in P_ADD_SWEEP {
+        let arch = ArchConfig::new(ArchKind::TransPim).with_acu(16, p_add);
+        cells.push(GridCell::custom(arch, DataflowKind::Token, &w));
+    }
+    cells.push(GridCell::custom(
+        ArchConfig::new(ArchKind::TransPim).with_acu(1, 4),
+        DataflowKind::Token,
+        &w,
+    ));
+    for p_sub in P_SUB_SWEEP {
+        let arch = ArchConfig::new(ArchKind::TransPim).with_acu(p_sub, 4);
+        cells.push(GridCell::custom(arch, DataflowKind::Token, &w));
+    }
+    let mut reports = run_grid(jobs, false, false, cells).into_iter().map(|o| o.report);
 
     println!("Figure 13(a): adder-tree parallelism P_add (BERT, 4096-long Softmax reductions)");
     let base = AcuReduceModel::new(
@@ -55,7 +80,7 @@ fn main() {
     );
     let (l1, e1) = (base.vector_latency_ns(4096, 16), base.energy_pj(4096, 16, 1));
     let mut padd_rows = Vec::new();
-    for p_add in [1u32, 2, 4, 8, 16] {
+    for p_add in P_ADD_SWEEP {
         let m = AcuReduceModel::new(
             hbm.geometry,
             hbm.timing,
@@ -64,8 +89,7 @@ fn main() {
         );
         let lat = m.vector_latency_ns(4096, 16);
         let pj = m.energy_pj(4096, 16, 1);
-        let arch = ArchConfig::new(ArchKind::TransPim).with_acu(16, p_add);
-        let report = Accelerator::new(arch).simulate(&w, DataflowKind::Token);
+        let report = reports.next().expect("one report per P_add cell");
         let row = PaddRow {
             p_add,
             reduce_latency_ns: lat,
@@ -84,13 +108,9 @@ fn main() {
     println!();
     println!("Figure 13(b): ACUs per bank P_sub vs execution time and area");
     let mut psub_rows = Vec::new();
-    let base_lat = {
-        let arch = ArchConfig::new(ArchKind::TransPim).with_acu(1, 4);
-        Accelerator::new(arch).simulate(&w, DataflowKind::Token).latency_ms()
-    };
-    for p_sub in [1u32, 2, 4, 8, 16, 32, 64] {
-        let arch = ArchConfig::new(ArchKind::TransPim).with_acu(p_sub, 4);
-        let report = Accelerator::new(arch).simulate(&w, DataflowKind::Token);
+    let base_lat = reports.next().expect("P_sub baseline report").latency_ms();
+    for p_sub in P_SUB_SWEEP {
+        let report = reports.next().expect("one report per P_sub cell");
         let area = AreaModel::new(p_sub, 4);
         let row = PsubRow {
             p_sub,

@@ -9,7 +9,7 @@
 use serde::Serialize;
 use transpim::arch::ArchKind;
 use transpim::report::DataflowKind;
-use transpim_bench::{run_system, write_json};
+use transpim_bench::{jobs_from_args, run_grid, write_json, GridCell};
 use transpim_transformer::model::ModelConfig;
 use transpim_transformer::workload::Workload;
 
@@ -22,20 +22,41 @@ struct Row {
     active_bank_fraction: f64,
 }
 
+const LENGTHS: [usize; 6] = [128, 256, 512, 1024, 2048, 4096];
+const MODELS: [&str; 2] = ["roberta", "pegasus"];
+
+fn workload(model: &str, l: usize) -> Workload {
+    let mut w = Workload::synthetic_roberta(l);
+    if model == "pegasus" {
+        w.model = ModelConfig::pegasus_large();
+        w.model.decoder_layers = 0; // encoder-side power like RoBERTa
+        w.name = format!("pegasus-{l}");
+    }
+    w
+}
+
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&mut args).unwrap_or_else(|e| {
+        eprintln!("error: {e}\nusage: fig14_power [--jobs N]");
+        std::process::exit(2);
+    });
     println!("Figure 14: TransPIM power vs sequence length (batch 1, encoder)");
     println!("{:>8} {:>14} {:>14}", "L", "RoBERTa (W)", "Pegasus (W)");
+    let cells: Vec<GridCell> = LENGTHS
+        .iter()
+        .flat_map(|&l| {
+            MODELS.iter().map(move |model| {
+                GridCell::system(ArchKind::TransPim, DataflowKind::Token, &workload(model, l), 8)
+            })
+        })
+        .collect();
+    let mut reports = run_grid(jobs, false, false, cells).into_iter().map(|o| o.report);
     let mut rows = Vec::new();
-    for l in [128usize, 256, 512, 1024, 2048, 4096] {
+    for l in LENGTHS {
         let mut line = format!("{l:>8}");
-        for model in ["roberta", "pegasus"] {
-            let mut w = Workload::synthetic_roberta(l);
-            if model == "pegasus" {
-                w.model = ModelConfig::pegasus_large();
-                w.model.decoder_layers = 0; // encoder-side power like RoBERTa
-                w.name = format!("pegasus-{l}");
-            }
-            let r = run_system(ArchKind::TransPim, DataflowKind::Token, &w, 8);
+        for model in MODELS {
+            let r = reports.next().expect("one report per grid cell");
             let power = r.average_power_w();
             line.push_str(&format!(" {power:>14.1}"));
             rows.push(Row {

@@ -8,7 +8,7 @@
 use serde::Serialize;
 use transpim::arch::ArchKind;
 use transpim::report::DataflowKind;
-use transpim_bench::{run_system, write_json};
+use transpim_bench::{jobs_from_args, run_grid, write_json, GridCell};
 use transpim_transformer::workload::Workload;
 
 #[derive(Serialize)]
@@ -19,17 +19,40 @@ struct Row {
     speedup_vs_1_stack: f64,
 }
 
+const LENGTHS: [usize; 4] = [512, 2048, 8192, 32768];
+const STACKS: [u32; 4] = [1, 2, 4, 8];
+
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&mut args).unwrap_or_else(|e| {
+        eprintln!("error: {e}\nusage: fig15_scalability [--jobs N]");
+        std::process::exit(2);
+    });
     println!("Figure 15: speedup vs number of HBM stacks (Pegasus encoder)");
     println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "L", "1", "2", "4", "8");
+    let cells: Vec<GridCell> = LENGTHS
+        .iter()
+        .flat_map(|&l| {
+            let mut w = Workload::synthetic_pegasus(l);
+            w.decode_len = 0; // the scalability claim is about the parallel pass
+            STACKS
+                .iter()
+                .map(move |&stacks| {
+                    GridCell::system(ArchKind::TransPim, DataflowKind::Token, &w, stacks)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut reports = run_grid(jobs, false, false, cells).into_iter().map(|o| o.report);
     let mut rows = Vec::new();
-    for l in [512usize, 2048, 8192, 32768] {
-        let mut w = Workload::synthetic_pegasus(l);
-        w.decode_len = 0; // the scalability claim is about the parallel pass
-        let base = run_system(ArchKind::TransPim, DataflowKind::Token, &w, 1).latency_ms();
+    for l in LENGTHS {
+        let mut base = f64::NAN;
         let mut line = format!("{l:>8}");
-        for stacks in [1u32, 2, 4, 8] {
-            let r = run_system(ArchKind::TransPim, DataflowKind::Token, &w, stacks);
+        for stacks in STACKS {
+            let r = reports.next().expect("one report per grid cell");
+            if stacks == 1 {
+                base = r.latency_ms();
+            }
             let speedup = base / r.latency_ms();
             line.push_str(&format!(" {speedup:>7.2}x"));
             rows.push(Row {

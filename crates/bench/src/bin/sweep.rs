@@ -12,7 +12,7 @@
 
 use transpim::arch::ArchKind;
 use transpim::report::DataflowKind;
-use transpim_bench::{note, run_system_observed, ObsSession};
+use transpim_bench::{jobs_from_args, note, GridCell, ObsSession};
 use transpim_transformer::workload::Workload;
 
 struct Grid {
@@ -53,25 +53,21 @@ fn parse(args: &[String]) -> Result<Grid, String> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: sweep [--model roberta|pegasus] [--lengths a,b,c] [--stacks a,b] \
-                 [--trace t.json] [--metrics m.json|m.csv]";
-    let obs = match ObsSession::extract(&mut args) {
-        Ok(o) => o,
-        Err(e) => {
-            note(format!("error: {e}"));
-            eprintln!("{usage}");
-            std::process::exit(2);
-        }
+                 [--jobs N] [--trace t.json] [--metrics m.json|m.csv]";
+    let fail = |e: String| -> ! {
+        note(format!("error: {e}"));
+        eprintln!("{usage}");
+        std::process::exit(2);
     };
-    let grid = match parse(&args) {
-        Ok(g) => g,
-        Err(e) => {
-            note(format!("error: {e}"));
-            eprintln!("{usage}");
-            std::process::exit(2);
-        }
-    };
+    let jobs = jobs_from_args(&mut args).unwrap_or_else(|e| fail(e));
+    let obs = ObsSession::extract(&mut args).unwrap_or_else(|e| fail(e));
+    let grid = parse(&args).unwrap_or_else(|e| fail(e));
 
-    println!("model,seq_len,stacks,dataflow,arch,latency_ms,gops,gop_per_joule,power_w,bandwidth_gbs,utilization,movement_frac");
+    // Build the whole grid up front, then fan the cells out to the pool;
+    // results come back in submission order, so the CSV below is
+    // byte-identical at any --jobs count.
+    let mut cells = Vec::new();
+    let mut labels = Vec::new();
     for &l in &grid.lengths {
         let workload = match grid.model.as_str() {
             "roberta" => Workload::synthetic_roberta(l),
@@ -84,25 +80,31 @@ fn main() {
         for &stacks in &grid.stacks {
             for kind in ArchKind::ALL {
                 for df in DataflowKind::ALL {
-                    let r = run_system_observed(kind, df, &workload, stacks, obs.sink());
-                    println!(
-                        "{},{},{},{},{},{:.3},{:.1},{:.2},{:.2},{:.1},{:.4},{:.4}",
-                        grid.model,
-                        l,
-                        stacks,
-                        df,
-                        kind,
-                        r.latency_ms(),
-                        r.throughput_gops(),
-                        r.gop_per_joule(),
-                        r.average_power_w(),
-                        r.average_bandwidth_gbs(),
-                        r.utilization(),
-                        r.fraction(transpim_hbm::stats::Category::DataMovement),
-                    );
+                    cells.push(GridCell::system(kind, df, &workload, stacks));
+                    labels.push((l, stacks, df, kind));
                 }
             }
         }
+    }
+    let reports = obs.run_grid(jobs, cells);
+
+    println!("model,seq_len,stacks,dataflow,arch,latency_ms,gops,gop_per_joule,power_w,bandwidth_gbs,utilization,movement_frac");
+    for ((l, stacks, df, kind), r) in labels.into_iter().zip(&reports) {
+        println!(
+            "{},{},{},{},{},{:.3},{:.1},{:.2},{:.2},{:.1},{:.4},{:.4}",
+            grid.model,
+            l,
+            stacks,
+            df,
+            kind,
+            r.latency_ms(),
+            r.throughput_gops(),
+            r.gop_per_joule(),
+            r.average_power_w(),
+            r.average_bandwidth_gbs(),
+            r.utilization(),
+            r.fraction(transpim_hbm::stats::Category::DataMovement),
+        );
     }
     obs.finish();
 }

@@ -17,6 +17,7 @@ use std::path::Path;
 use std::rc::Rc;
 use transpim::accelerator::Accelerator;
 use transpim::arch::{ArchConfig, ArchKind};
+use transpim::exec::Executor;
 use transpim::report::{DataflowKind, SimReport};
 use transpim::{ChromeTraceSink, FanoutSink, MetricsSink, SinkHandle};
 use transpim_transformer::workload::Workload;
@@ -43,6 +44,169 @@ pub fn run_system_observed(
 ) -> SimReport {
     let arch = ArchConfig::new(kind).with_stacks(stacks);
     Accelerator::new(arch).simulate_with_sink(workload, dataflow, sink)
+}
+
+/// One cell of an evaluation grid: a full architecture configuration, a
+/// dataflow, and a workload. Cells are independent simulations, which is
+/// what makes the grid embarrassingly parallel.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Architecture to simulate (carries stack count, ACU knobs, …).
+    pub arch: ArchConfig,
+    /// Dataflow mapping.
+    pub dataflow: DataflowKind,
+    /// Workload to run.
+    pub workload: Workload,
+}
+
+impl GridCell {
+    /// Cell for one of the eight named systems, like [`run_system`].
+    pub fn system(
+        kind: ArchKind,
+        dataflow: DataflowKind,
+        workload: &Workload,
+        stacks: u32,
+    ) -> Self {
+        Self::custom(ArchConfig::new(kind).with_stacks(stacks), dataflow, workload)
+    }
+
+    /// Cell with an explicit [`ArchConfig`] (DSE sweeps over ACU knobs).
+    pub fn custom(arch: ArchConfig, dataflow: DataflowKind, workload: &Workload) -> Self {
+        Self { arch, dataflow, workload: workload.clone() }
+    }
+}
+
+/// Result of one grid cell: the report plus the cell's private
+/// observability sinks (present only when requested from [`run_grid`]).
+#[derive(Debug)]
+pub struct CellOutput {
+    /// The simulation report.
+    pub report: SimReport,
+    /// Per-cell trace, when tracing was requested.
+    pub trace: Option<ChromeTraceSink>,
+    /// Per-cell metrics, when metrics were requested.
+    pub metrics: Option<MetricsSink>,
+}
+
+/// Simulate every cell of `cells` on up to `jobs` pool workers and return
+/// the outputs **in submission order** — output is independent of `jobs`.
+///
+/// Scheduling: cells sharing an `(arch, dataflow)` pair form one batch
+/// (one pool job) so a single [`Executor`]'s ring/broadcast/tree schedule
+/// caches amortize across the batch — e.g. across the sequence lengths of
+/// a sweep. Executor reuse is skipped when observability is requested,
+/// because the executor collapses repeated per-hop trace detail and reuse
+/// would change trace *verbosity* (never priced results) between runs;
+/// with sinks on, every cell gets a fresh executor and private sinks, so
+/// merging them in submission order reproduces a serial run's stream.
+pub fn run_grid(
+    jobs: usize,
+    want_trace: bool,
+    want_metrics: bool,
+    cells: Vec<GridCell>,
+) -> Vec<CellOutput> {
+    let n = cells.len();
+    // Batch cells by (arch, dataflow), preserving submission order within
+    // each batch and across batch creation (grids are small; linear scan).
+    let mut batches: Vec<Vec<(usize, GridCell)>> = Vec::new();
+    for (index, cell) in cells.into_iter().enumerate() {
+        match batches.iter_mut().find(|batch| {
+            let first = &batch[0].1;
+            first.arch == cell.arch && first.dataflow == cell.dataflow
+        }) {
+            Some(batch) => batch.push((index, cell)),
+            None => batches.push(vec![(index, cell)]),
+        }
+    }
+
+    let reuse_executor = !(want_trace || want_metrics);
+    let pool_jobs: Vec<_> = batches
+        .into_iter()
+        .map(|batch| {
+            move || {
+                let mut exec: Option<Executor> = None;
+                batch
+                    .into_iter()
+                    .map(|(index, cell)| {
+                        let acc = Accelerator::new(cell.arch.clone());
+                        let output = if reuse_executor {
+                            let exec = exec.get_or_insert_with(|| Executor::new(cell.arch.clone()));
+                            let report = acc.simulate_on(
+                                exec,
+                                &cell.workload,
+                                cell.dataflow,
+                                SinkHandle::null(),
+                            );
+                            CellOutput { report, trace: None, metrics: None }
+                        } else {
+                            // Sinks live and die inside this worker thread:
+                            // the Rc handles never cross threads, and the
+                            // owned sinks travel back with the result.
+                            let trace = want_trace.then(ChromeTraceSink::shared);
+                            let metrics = want_metrics.then(MetricsSink::shared);
+                            let mut handles: Vec<SinkHandle> = Vec::new();
+                            if let Some(t) = &trace {
+                                handles.push(SinkHandle::from_shared(t.clone()));
+                            }
+                            if let Some(m) = &metrics {
+                                handles.push(SinkHandle::from_shared(m.clone()));
+                            }
+                            let sink = match handles.len() {
+                                0 => SinkHandle::null(),
+                                1 => handles.pop().expect("one handle"),
+                                _ => SinkHandle::new(FanoutSink::new(handles)),
+                            };
+                            let report =
+                                acc.simulate_with_sink(&cell.workload, cell.dataflow, sink);
+                            let unwrap_own = |rc: Rc<RefCell<ChromeTraceSink>>| {
+                                Rc::try_unwrap(rc)
+                                    .expect("simulation dropped its sink handle")
+                                    .into_inner()
+                            };
+                            let unwrap_own_m = |rc: Rc<RefCell<MetricsSink>>| {
+                                Rc::try_unwrap(rc)
+                                    .expect("simulation dropped its sink handle")
+                                    .into_inner()
+                            };
+                            CellOutput {
+                                report,
+                                trace: trace.map(unwrap_own),
+                                metrics: metrics.map(unwrap_own_m),
+                            }
+                        };
+                        (index, output)
+                    })
+                    .collect::<Vec<_>>()
+            }
+        })
+        .collect();
+
+    let finished = transpim_par::run(jobs, pool_jobs);
+    let mut out: Vec<Option<CellOutput>> = (0..n).map(|_| None).collect();
+    for batch in finished {
+        for (index, cell_output) in batch {
+            out[index] = Some(cell_output);
+        }
+    }
+    out.into_iter().map(|o| o.expect("every grid cell ran")).collect()
+}
+
+/// Remove `--jobs N` from `args` and return the worker count — defaulting
+/// to [`transpim_par::max_threads`] (`TRANSPIM_THREADS` or the machine's
+/// parallelism) when the flag is absent.
+pub fn jobs_from_args(args: &mut Vec<String>) -> Result<usize, String> {
+    match args.iter().position(|a| a == "--jobs") {
+        None => Ok(transpim_par::max_threads()),
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            let value = args.remove(i);
+            match value.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("--jobs needs a positive integer, got '{value}'")),
+            }
+        }
+        Some(_) => Err("--jobs requires a value".into()),
+    }
 }
 
 /// All eight memory-based systems of Figure 10, in the paper's order.
@@ -139,6 +303,36 @@ impl ObsSession {
             1 => handles.pop().expect("one handle"),
             _ => SinkHandle::new(FanoutSink::new(handles)),
         }
+    }
+
+    /// Whether `--trace` was requested.
+    pub fn wants_trace(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Whether `--metrics` was requested.
+    pub fn wants_metrics(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Run `cells` on the pool ([`run_grid`]) and fold each cell's private
+    /// sinks into this session **in submission order**, so the artifacts
+    /// [`ObsSession::finish`] writes are byte-identical to a serial run
+    /// over the same grid, at any `jobs` count. Returns the reports in
+    /// submission order.
+    pub fn run_grid(&self, jobs: usize, cells: Vec<GridCell>) -> Vec<SimReport> {
+        let outputs = run_grid(jobs, self.wants_trace(), self.wants_metrics(), cells);
+        let mut reports = Vec::with_capacity(outputs.len());
+        for output in outputs {
+            if let (Some((_, shared)), Some(cell_trace)) = (&self.trace, output.trace) {
+                shared.borrow_mut().absorb(cell_trace);
+            }
+            if let (Some((_, shared)), Some(cell_metrics)) = (&self.metrics, output.metrics) {
+                shared.borrow_mut().merge(cell_metrics);
+            }
+            reports.push(output.report);
+        }
+        reports
     }
 
     /// Record a scalar alongside the span/counter aggregates (no-op

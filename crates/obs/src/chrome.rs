@@ -104,6 +104,16 @@ impl ChromeTraceSink {
         Rc::new(RefCell::new(Self::new()))
     }
 
+    /// Append another sink's events after this one's.
+    ///
+    /// Absorbing per-job sinks **in submission order** reproduces the
+    /// event sequence one shared sink would have recorded from a serial
+    /// run: [`sorted_events`](Self::sorted_events) sorts stably, so
+    /// records with equal `(ts, tid)` keep their append order.
+    pub fn absorb(&mut self, other: ChromeTraceSink) {
+        self.events.extend(other.events);
+    }
+
     /// Number of recorded events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -261,6 +271,25 @@ mod tests {
         let json = s.to_json_string().unwrap();
         let back: Vec<ChromeEvent> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s.sorted_events());
+    }
+
+    #[test]
+    fn absorbing_split_streams_matches_one_shared_sink() {
+        let mut first = ChromeTraceSink::new();
+        first.track_name(TrackId(2), "arithmetic");
+        first.span(
+            SpanEvent::new("fc", "arithmetic", TrackId(2), 2000.0, 1000.0)
+                .with_arg("energy_pj", 7.0),
+        );
+        let mut second = ChromeTraceSink::new();
+        second.span(SpanEvent::new("attn", "data-movement", TrackId(1), 0.0, 2000.0));
+        second.counter(CounterEvent::sample("util", TrackId(3), 500.0, "busy", 0.25));
+        second.instant(InstantEvent::new("mark", "ring", TrackId(4), 1500.0));
+
+        let mut merged = ChromeTraceSink::new();
+        merged.absorb(first);
+        merged.absorb(second);
+        assert_eq!(merged.to_json_string().unwrap(), filled().to_json_string().unwrap());
     }
 
     #[test]

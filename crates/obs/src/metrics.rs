@@ -48,6 +48,33 @@ impl MetricsSink {
         self.extra.insert(key.into(), value);
     }
 
+    /// Fold another sink's aggregates into this one.
+    ///
+    /// Merging per-job sinks **in submission order** reproduces exactly
+    /// what one shared sink would have recorded from a serial run over the
+    /// same jobs: span counts/totals/argument sums add, counters keep the
+    /// last merged value (serial last-write-wins), instant counts add, and
+    /// summary metrics keep the last merged value.
+    pub fn merge(&mut self, other: MetricsSink) {
+        for (key, incoming) in other.spans {
+            let a = self.spans.entry(key).or_default();
+            a.count += incoming.count;
+            a.total_ns += incoming.total_ns;
+            for (arg, sum) in incoming.arg_sums {
+                *a.arg_sums.entry(arg).or_default() += sum;
+            }
+        }
+        for (name, value) in other.counters {
+            self.counters.insert(name, value);
+        }
+        for (name, count) in other.instants {
+            *self.instants.entry(name).or_default() += count;
+        }
+        for (key, value) in other.extra {
+            self.extra.insert(key, value);
+        }
+    }
+
     /// The flat, sorted `key → value` view of everything recorded.
     pub fn to_flat(&self) -> BTreeMap<String, f64> {
         let mut out = BTreeMap::new();
@@ -176,6 +203,32 @@ mod tests {
         assert_eq!(flat["event.ring-step.count"], 1.0);
         assert_eq!(flat["counter.util.busy"], 0.75); // last value wins
         assert_eq!(flat["sim.latency_ns"], 22.0);
+    }
+
+    #[test]
+    fn merging_split_streams_matches_one_shared_sink() {
+        // Split the event stream of `filled()` across two per-job sinks;
+        // merging them in submission order must reproduce the shared sink.
+        let mut first = MetricsSink::new();
+        first.span(
+            SpanEvent::new("fc", "arithmetic", TrackId(1), 0.0, 10.0).with_arg("energy_pj", 3.0),
+        );
+        first.counter(CounterEvent::sample("util", TrackId(3), 2.0, "busy", 0.5));
+        let mut second = MetricsSink::new();
+        second.span(
+            SpanEvent::new("fc", "arithmetic", TrackId(1), 10.0, 5.0).with_arg("energy_pj", 2.0),
+        );
+        second.span(SpanEvent::new("attn", "data-movement", TrackId(1), 15.0, 7.0));
+        second.instant(InstantEvent::new("ring-step", "ring", TrackId(2), 1.0));
+        second.counter(CounterEvent::sample("util", TrackId(3), 4.0, "busy", 0.75));
+        second.push_metric("sim.latency_ns", 22.0);
+
+        let mut merged = MetricsSink::new();
+        merged.merge(first);
+        merged.merge(second);
+        assert_eq!(merged.to_flat(), filled().to_flat());
+        // Counter order matters: the later job's value wins, as in serial.
+        assert_eq!(merged.to_flat()["counter.util.busy"], 0.75);
     }
 
     #[test]

@@ -10,6 +10,18 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+/// Rows per parallel job in the blocked kernels. One job covers
+/// `ROW_BLOCK` output rows, so submitting `rows / ROW_BLOCK` jobs to the
+/// pool load-balances without slicing rows across workers.
+const ROW_BLOCK: usize = 64;
+
+/// Contraction-dimension block: the rows of `other` touched by one block
+/// fit in L1/L2 and are reused across every row of the job's row block.
+const K_BLOCK: usize = 256;
+
+/// Multiply-add count below which the kernels stay single-threaded.
+const PAR_FLOP_THRESHOLD: usize = 1 << 21;
+
 /// Row-major dense matrix of `f32`.
 ///
 /// # Example
@@ -182,6 +194,12 @@ impl Matrix {
 
     /// `self × other`.
     ///
+    /// Cache-blocked over the contraction dimension and parallelized over
+    /// row blocks (via `transpim-par`) above [`PAR_FLOP_THRESHOLD`].
+    /// Every output element accumulates its products in ascending `k`
+    /// order regardless of blocking or thread count, so results are
+    /// bitwise identical to the naive triple loop and to a serial run.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
@@ -194,22 +212,48 @@ impl Matrix {
             other.shape()
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let cols = other.cols;
+        if self.rows == 0 || cols == 0 || self.cols == 0 {
+            return out;
+        }
+        let threads = self.kernel_threads(self.rows * self.cols * cols);
+        transpim_par::for_each_chunk_mut(
+            threads,
+            &mut out.data,
+            ROW_BLOCK * cols,
+            |start, chunk| {
+                self.matmul_rows_into(other, start / cols, chunk);
+            },
+        );
+        out
+    }
+
+    /// Compute output rows `row0..row0 + chunk.len()/other.cols` of
+    /// `self × other` into `chunk`. `k` is blocked so the touched rows of
+    /// `other` stay cache-resident across the row block; blocks advance in
+    /// ascending `k`, preserving the exact per-element summation order.
+    fn matmul_rows_into(&self, other: &Matrix, row0: usize, chunk: &mut [f32]) {
+        let cols = other.cols;
+        let rows = chunk.len() / cols;
+        for kb in (0..self.cols).step_by(K_BLOCK) {
+            let kb_end = (kb + K_BLOCK).min(self.cols);
+            for r in 0..rows {
+                let a_row = self.row(row0 + r);
+                let out_row = &mut chunk[r * cols..(r + 1) * cols];
+                for (k, &a) in a_row.iter().enumerate().take(kb_end).skip(kb) {
+                    let b_row = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-        out
     }
 
     /// `self × otherᵀ` — attention scores `Q Kᵀ` without materializing the
     /// transpose. The contraction runs along the shared column dimension in
-    /// index order, identical to the sharded execution.
+    /// index order, identical to the sharded execution; each dot product
+    /// lives entirely in one job, so threading never reorders a sum.
     ///
     /// # Panics
     ///
@@ -222,9 +266,41 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
-        Matrix::from_fn(self.rows, other.rows, |i, j| {
-            self.row(i).iter().zip(other.row(j)).map(|(&a, &b)| a * b).sum()
-        })
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let cols = other.rows;
+        if self.rows == 0 || cols == 0 {
+            return out;
+        }
+        let threads = self.kernel_threads(self.rows * self.cols * cols);
+        transpim_par::for_each_chunk_mut(
+            threads,
+            &mut out.data,
+            ROW_BLOCK * cols,
+            |start, chunk| {
+                let row0 = start / cols;
+                let rows = chunk.len() / cols;
+                // `j` outer keeps `other.row(j)` hot across the whole row block.
+                for j in 0..cols {
+                    let b_row = other.row(j);
+                    for r in 0..rows {
+                        let a_row = self.row(row0 + r);
+                        chunk[r * cols + j] = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
+                    }
+                }
+            },
+        );
+        out
+    }
+
+    /// Worker count for a kernel of `flops` multiply-adds: single-threaded
+    /// below [`PAR_FLOP_THRESHOLD`] (spawn overhead dominates the small
+    /// matrices unit tests use), the pool default above it.
+    fn kernel_threads(&self, flops: usize) -> usize {
+        if flops >= PAR_FLOP_THRESHOLD {
+            transpim_par::max_threads()
+        } else {
+            1
+        }
     }
 
     /// Point-wise sum.
@@ -366,6 +442,50 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn matmul_rejects_bad_shapes() {
         Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    /// Naive i→k→j reference: the exact pre-blocking implementation.
+    fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            let a_row = a.row(i);
+            let out_row = &mut out.data[i * b.cols..(i + 1) * b.cols];
+            for (k, &av) in a_row.iter().enumerate() {
+                let b_row = b.row(k);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_parallel_matmul_is_bitwise_identical() {
+        // 160×300 × 300×170 ≈ 8.2M MACs — crosses PAR_FLOP_THRESHOLD, so
+        // this exercises the blocked kernel on multiple pool workers and
+        // multiple k-blocks (300 > K_BLOCK). Equality is exact (`==` on
+        // f32 data), not approximate: blocking and threading must not
+        // perturb a single summation order.
+        let a = Matrix::from_fn(160, 300, |r, c| ((r * 31 + c * 17) % 23) as f32 * 0.37 - 4.0);
+        let b = Matrix::from_fn(300, 170, |r, c| ((r * 13 + c * 29) % 19) as f32 * 0.21 - 2.0);
+        assert_eq!(a.matmul(&b), matmul_naive(&a, &b));
+
+        let bt = Matrix::from_fn(170, 300, |r, c| ((r * 7 + c * 11) % 17) as f32 * 0.43 - 3.0);
+        let reference = Matrix::from_fn(a.rows, bt.rows, |i, j| {
+            a.row(i).iter().zip(bt.row(j)).map(|(&x, &y)| x * y).sum()
+        });
+        assert_eq!(a.matmul_transb(&bt), reference);
+    }
+
+    #[test]
+    fn blocked_matmul_handles_degenerate_shapes() {
+        let empty = Matrix::zeros(0, 5).matmul(&Matrix::zeros(5, 3));
+        assert_eq!(empty.shape(), (0, 3));
+        let inner_empty = Matrix::zeros(2, 0).matmul(&Matrix::zeros(0, 3));
+        assert_eq!(inner_empty, Matrix::zeros(2, 3));
+        let skinny = Matrix::zeros(3, 4).matmul_transb(&Matrix::zeros(0, 4));
+        assert_eq!(skinny.shape(), (3, 0));
     }
 
     #[test]

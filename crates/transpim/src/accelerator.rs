@@ -53,12 +53,39 @@ impl Accelerator {
         dataflow: DataflowKind,
         sink: SinkHandle,
     ) -> SimReport {
+        let mut exec = Executor::new(self.arch.clone());
+        self.simulate_on(&mut exec, workload, dataflow, sink)
+    }
+
+    /// Like [`Accelerator::simulate_with_sink`], running on a caller-owned
+    /// [`Executor`] so its ring/broadcast/tree schedule caches amortize
+    /// across simulations of the same architecture (e.g. a sweep over
+    /// sequence lengths). Priced results are identical to a fresh executor
+    /// — the caches are pure memoization — but trace *verbosity* is not:
+    /// the executor collapses repeated per-hop detail, so reuse an
+    /// executor across runs only when `sink` is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exec` was built from a different [`ArchConfig`] than
+    /// this accelerator (cached schedules would be priced for the wrong
+    /// geometry).
+    pub fn simulate_on(
+        &self,
+        exec: &mut Executor,
+        workload: &Workload,
+        dataflow: DataflowKind,
+        sink: SinkHandle,
+    ) -> SimReport {
+        assert!(
+            exec.prices_arch(&self.arch),
+            "executor architecture does not match accelerator architecture"
+        );
         let banks = self.arch.hbm.geometry.total_banks();
         let program = match dataflow {
             DataflowKind::Token => token_flow::compile(workload, banks),
             DataflowKind::Layer => layer_flow::compile(workload, banks),
         };
-        let mut exec = Executor::new(self.arch.clone());
         let (stats, scoped) = exec.run_with_sink(&program, sink);
         SimReport {
             system: self.arch.system_label(dataflow.label()),
@@ -104,6 +131,40 @@ mod tests {
         assert_eq!(r.workload, "IMDB");
         assert!(r.latency_ms() > 0.0);
         assert!(r.scoped.get("enc.fc").is_some());
+    }
+
+    #[test]
+    fn executor_reuse_never_changes_priced_results() {
+        // One executor reused across sequence lengths and both dataflows
+        // (warm ring/broadcast/tree schedule caches) must price exactly
+        // what a fresh executor prices for every cell.
+        let arch = ArchConfig::new(ArchKind::TransPim);
+        let acc = Accelerator::new(arch.clone());
+        let mut shared = crate::exec::Executor::new(arch);
+        for seq_len in [96usize, 192, 96] {
+            for df in DataflowKind::ALL {
+                let mut w = Workload::synthetic_roberta(seq_len);
+                w.model.encoder_layers = 1;
+                let reused = acc.simulate_on(&mut shared, &w, df, transpim_obs::SinkHandle::null());
+                let fresh = acc.simulate(&w, df);
+                assert_eq!(reused.stats, fresh.stats, "{df} @ {seq_len}");
+                assert_eq!(reused.scoped, fresh.scoped, "{df} @ {seq_len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match accelerator architecture")]
+    fn executor_reuse_rejects_mismatched_arch() {
+        let mut w = Workload::imdb();
+        w.model.encoder_layers = 1;
+        let mut exec = crate::exec::Executor::new(ArchConfig::new(ArchKind::Nbp));
+        Accelerator::new(ArchConfig::new(ArchKind::TransPim)).simulate_on(
+            &mut exec,
+            &w,
+            DataflowKind::Token,
+            transpim_obs::SinkHandle::null(),
+        );
     }
 
     #[test]

@@ -70,26 +70,41 @@ pub struct Executor {
 }
 
 impl Executor {
-    /// Build an executor for `arch`.
-    pub fn new(arch: ArchConfig) -> Self {
-        let mut arch = arch;
-        // Bank-to-bank streaming rates differ with the communication
-        // hardware. Without the TransPIM buffers, every transfer is
-        // row-cycle bound: open the source row, stream it beat by beat
-        // over the shared bus, open and restore the destination row. With
-        // the buffers, group segments pipeline independently at the
-        // column-access rate.
+    /// Normalize an input configuration to what the executor prices:
+    /// bank-to-bank streaming rates differ with the communication
+    /// hardware. Without the TransPIM buffers, every transfer is
+    /// row-cycle bound: open the source row, stream it beat by beat
+    /// over the shared bus, open and restore the destination row. With
+    /// the buffers, group segments pipeline independently at the
+    /// column-access rate.
+    fn normalized(mut arch: ArchConfig) -> ArchConfig {
         let g = arch.hbm.geometry;
         let t = arch.hbm.timing;
-        let beats = f64::from(g.row_bits()) / f64::from(g.dq_bits);
-        let unbuffered_gbs = f64::from(g.row_bytes) / (2.0 * t.t_rc + beats * t.t_ccd_l);
-        let stream_floor_gbs = unbuffered_gbs;
         if arch.kind.has_buffers() {
             arch.hbm.bus.group_gbs = f64::from(g.dq_bits) / 8.0 / t.t_ccd_s; // 16 GB/s
         } else {
+            let beats = f64::from(g.row_bits()) / f64::from(g.dq_bits);
+            let unbuffered_gbs = f64::from(g.row_bytes) / (2.0 * t.t_rc + beats * t.t_ccd_l);
             arch.hbm.bus.group_gbs = unbuffered_gbs;
             arch.hbm.bus.channel_gbs = unbuffered_gbs;
         }
+        arch
+    }
+
+    /// Whether this executor prices exactly the architecture `arch`
+    /// describes (modulo the bus-rate normalization [`Executor::new`]
+    /// applies) — i.e. whether reusing it for `arch` is sound.
+    pub fn prices_arch(&self, arch: &ArchConfig) -> bool {
+        self.arch == Self::normalized(arch.clone())
+    }
+
+    /// Build an executor for `arch`.
+    pub fn new(arch: ArchConfig) -> Self {
+        let arch = Self::normalized(arch);
+        let g = arch.hbm.geometry;
+        let t = arch.hbm.timing;
+        let beats = f64::from(g.row_bits()) / f64::from(g.dq_bits);
+        let stream_floor_gbs = f64::from(g.row_bytes) / (2.0 * t.t_rc + beats * t.t_ccd_l);
         let hbm = &arch.hbm;
         let map = hbm.resource_map(arch.kind.has_buffers());
         let pim = PimCostModel::new(hbm.geometry, hbm.timing, hbm.energy, arch.pim);

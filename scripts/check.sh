@@ -14,6 +14,20 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
+echo "==> Cargo.lock completeness (offline resolve)"
+if ! cargo metadata --frozen --format-version 1 >/dev/null 2>/tmp/check_lock_err; then
+  cat /tmp/check_lock_err >&2
+  echo >&2
+  echo "error: the dependency graph does not resolve from the committed" >&2
+  echo "Cargo.lock without network access. This repository must build" >&2
+  echo "offline (see README \"Offline-build constraint\"): every dependency" >&2
+  echo "either lives in the workspace, in third_party/ via [patch.crates-io]," >&2
+  echo "or must already be locked. Regenerate the lockfile with" >&2
+  echo "'cargo metadata --offline' on a machine where it resolves, and" >&2
+  echo "commit the result." >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -27,5 +41,10 @@ fi
 
 echo "==> cargo test"
 cargo test --offline --workspace -q
+
+# The workspace suite above already runs this, but a broken parallel
+# engine must fail the gate with its own name on the line.
+echo "==> parallel determinism (jobs=1 vs jobs=N byte-identical)"
+cargo test --offline -q --test parallel_determinism
 
 echo "All checks passed."

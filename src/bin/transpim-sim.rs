@@ -15,6 +15,7 @@
 use std::process::ExitCode;
 use transpim::accelerator::Accelerator;
 use transpim::{ChromeTraceSink, FanoutSink, MetricsSink, SinkHandle};
+use transpim_bench::{run_grid, GridCell};
 
 /// Capacity warning helper (token dataflow per-bank working set).
 mod transpim_repro_capacity {
@@ -60,6 +61,7 @@ struct Options {
     p_sub: u32,
     p_add: u32,
     all: bool,
+    jobs: usize,
     json: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
@@ -88,11 +90,16 @@ OPTIONS:
   --seq-len <N>        override sequence length
   --decode <N>         override generated-token count
   --all                run all 8 dataflow×architecture systems
+  --jobs <N>           worker threads for --all (default: TRANSPIM_THREADS
+                       or the machine's available parallelism)
   --json <PATH>        write the report(s) as JSON
-  --trace <PATH>       write a Chrome-tracing timeline (single-system mode;
-                       open in chrome://tracing or https://ui.perfetto.dev)
-  --metrics <PATH>     write flat aggregated metrics (single-system mode;
-                       JSON, or CSV when PATH ends in .csv)
+  --trace <PATH>       write a Chrome-tracing timeline (open in
+                       chrome://tracing or https://ui.perfetto.dev); with
+                       --all, one file per system: PATH gains a
+                       .<system> suffix before its extension
+  --metrics <PATH>     write flat aggregated metrics (JSON, or CSV when
+                       PATH ends in .csv); with --all, one suffixed file
+                       per system
   --dump-ir <PATH>     write the compiled dataflow program as JSON
   --help               show this help
 ";
@@ -142,6 +149,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         p_sub: 16,
         p_add: 4,
         all: false,
+        jobs: transpim_par::max_threads(),
         json: None,
         trace: None,
         metrics: None,
@@ -188,6 +196,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 decode = Some(value("--decode")?.parse().map_err(|e| format!("--decode: {e}"))?)
             }
             "--all" => o.all = true,
+            "--jobs" => {
+                o.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if o.jobs == 0 {
+                    return Err("--jobs must be positive".into());
+                }
+            }
             "--json" => o.json = Some(value("--json")?),
             "--trace" => o.trace = Some(value("--trace")?),
             "--metrics" => o.metrics = Some(value("--metrics")?),
@@ -214,6 +228,29 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
+/// `trace.json` + `Token-TransPIM-NB` → `trace.token-transpim-nb.json`:
+/// per-system output paths for `--all` runs.
+fn suffixed(path: &str, system: &str) -> String {
+    let slug: String = system
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() && !ext.contains('/') => {
+            format!("{stem}.{slug}.{ext}")
+        }
+        _ => format!("{path}.{slug}"),
+    }
+}
+
+/// Headline report figures alongside the per-span aggregates.
+fn push_headline_metrics(m: &mut MetricsSink, report: &transpim::report::SimReport) {
+    m.push_metric("report.latency_ms", report.latency_ms());
+    m.push_metric("report.energy_mj", report.stats.total_energy_pj() * 1e-9);
+    m.push_metric("report.bytes_moved", report.stats.bytes_moved);
+    m.push_metric("report.utilization", report.utilization());
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -232,16 +269,35 @@ fn main() -> ExitCode {
     };
 
     if opts.all {
-        if opts.trace.is_some() || opts.metrics.is_some() {
-            eprintln!("warning: --trace/--metrics apply to single-system runs; ignored with --all");
-        }
-        let mut reports = Vec::new();
+        let mut cells = Vec::new();
         for kind in ArchKind::ALL {
             for df in DataflowKind::ALL {
-                let r = Accelerator::new(make_arch(kind)).simulate(&opts.workload, df);
-                println!("{}", r.summary());
-                reports.push(r);
+                cells.push(GridCell::custom(make_arch(kind), df, &opts.workload));
             }
+        }
+        let outputs = run_grid(opts.jobs, opts.trace.is_some(), opts.metrics.is_some(), cells);
+        let mut reports = Vec::new();
+        for output in outputs {
+            let report = output.report;
+            println!("{}", report.summary());
+            if let (Some(path), Some(trace)) = (&opts.trace, output.trace) {
+                let path = suffixed(path, &report.system);
+                if let Err(e) = trace.write_to(&path) {
+                    eprintln!("error: writing {path}: {e}");
+                    return ExitCode::from(1);
+                }
+                eprintln!("[trace written to {path} — open in chrome://tracing or Perfetto]");
+            }
+            if let (Some(path), Some(mut metrics)) = (&opts.metrics, output.metrics) {
+                push_headline_metrics(&mut metrics, &report);
+                let path = suffixed(path, &report.system);
+                if let Err(e) = metrics.write_to(&path) {
+                    eprintln!("error: writing {path}: {e}");
+                    return ExitCode::from(1);
+                }
+                eprintln!("[metrics written to {path}]");
+            }
+            reports.push(report);
         }
         if let Some(path) = &opts.json {
             let json = serde_json::to_string_pretty(&reports).expect("serialize reports");
@@ -335,14 +391,7 @@ fn main() -> ExitCode {
         eprintln!("[trace written to {path} — open in chrome://tracing or Perfetto]");
     }
     if let (Some(path), Some(metrics)) = (&opts.metrics, &metrics) {
-        {
-            // Headline report figures alongside the per-span aggregates.
-            let mut m = metrics.borrow_mut();
-            m.push_metric("report.latency_ms", report.latency_ms());
-            m.push_metric("report.energy_mj", report.stats.total_energy_pj() * 1e-9);
-            m.push_metric("report.bytes_moved", report.stats.bytes_moved);
-            m.push_metric("report.utilization", report.utilization());
-        }
+        push_headline_metrics(&mut metrics.borrow_mut(), &report);
         if let Err(e) = metrics.borrow().write_to(path) {
             eprintln!("error: writing {path}: {e}");
             return ExitCode::from(1);

@@ -1,0 +1,65 @@
+//! Type-check-only stand-in for criterion 0.5.
+
+pub struct Criterion;
+pub struct BenchmarkGroup;
+pub struct Bencher;
+pub struct BenchmarkId;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, _name: impl Into<String>) -> BenchmarkGroup {
+        unimplemented!()
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, _f: F) -> &mut Self {
+        unimplemented!()
+    }
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        unimplemented!()
+    }
+    pub fn bench_function<I, F: FnMut(&mut Bencher)>(&mut self, _id: I, _f: F) -> &mut Self {
+        unimplemented!()
+    }
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        _input: &I,
+        _f: F,
+    ) -> &mut Self {
+        unimplemented!()
+    }
+    pub fn finish(self) {
+        unimplemented!()
+    }
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, _f: F) {
+        unimplemented!()
+    }
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: std::fmt::Display>(_function: S, _parameter: P) -> Self {
+        unimplemented!()
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(let _: fn(&mut $crate::Criterion) = $target;)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

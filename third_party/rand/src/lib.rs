@@ -1,0 +1,76 @@
+//! Minimal functional stand-in for rand 0.8: an LCG behind the same
+//! trait surface the workspace uses (StdRng / SeedableRng / Rng::gen_range).
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let frac = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + frac * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+pub trait Rng: RngCore {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    pub struct StdRng {
+        state: u64,
+    }
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self
+                .state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = self.state;
+            (x ^ (x >> 33)).wrapping_mul(0xff51afd7ed558ccd)
+        }
+    }
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state: state.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1) }
+        }
+    }
+}
+pub use rngs::StdRng;
+
+pub mod prelude {
+    pub use crate::{rngs::StdRng, Rng, RngCore, SeedableRng};
+}

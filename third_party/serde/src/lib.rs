@@ -1,0 +1,463 @@
+//! Functional stand-in for serde, specialized to the JSON data model.
+//!
+//! The real serde is unreachable in the offline build environment (see the
+//! workspace README, "Offline-build constraint"), so this crate provides
+//! the subset the workspace actually uses: `Serialize`/`Deserialize`
+//! traits, a derive macro (in `serde_derive`), and a self-describing value
+//! tree ([`Plain`]) that `serde_json` renders to and parses from JSON
+//! text. Unlike upstream serde there is no serializer abstraction — every
+//! type converts to/from `Plain` directly, which is exactly what a
+//! JSON-only workspace needs and nothing more.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The self-describing data model: what any serializable value lowers to
+/// and any deserializable value is rebuilt from. Maps preserve insertion
+/// order (JSON objects are ordered in this workspace's outputs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plain {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent).
+    I64(i64),
+    /// Unsigned integer beyond `i64::MAX`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Plain>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Plain)>),
+}
+
+impl Plain {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Plain> {
+        match self {
+            Plain::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Plain)]> {
+        match self {
+            Plain::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Plain]> {
+        match self {
+            Plain::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Plain::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Plain::I64(v) => Some(v as f64),
+            Plain::U64(v) => Some(v as f64),
+            Plain::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Plain::Null => "null",
+            Plain::Bool(_) => "bool",
+            Plain::I64(_) | Plain::U64(_) | Plain::F64(_) => "number",
+            Plain::Str(_) => "string",
+            Plain::Seq(_) => "array",
+            Plain::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Error with a verbatim message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X, found Y" mismatch error.
+    pub fn expected(what: &str, found: &Plain) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Missing-field error.
+    pub fn missing(ty: &str, field: &str) -> Self {
+        DeError(format!("missing field `{field}` of `{ty}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower `self` into the data model.
+pub trait Serialize {
+    /// The `Plain` tree representing `self`.
+    fn to_plain(&self) -> Plain;
+}
+
+/// Rebuild `Self` from the data model. The lifetime mirrors upstream
+/// serde's signature; this implementation always copies.
+pub trait Deserialize<'de>: Sized {
+    /// Parse `Self` out of a `Plain` tree.
+    fn from_plain(plain: &Plain) -> Result<Self, DeError>;
+}
+
+pub mod de {
+    //! The owned-deserialization marker trait, as upstream.
+
+    /// Deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_plain(&self) -> Plain {
+        Plain::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        match *plain {
+            Plain::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", plain)),
+        }
+    }
+}
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_plain(&self) -> Plain { Plain::I64(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+                let v: i64 = match *plain {
+                    Plain::I64(v) => v,
+                    Plain::U64(v) => i64::try_from(v)
+                        .map_err(|_| DeError::new("unsigned value overflows signed target"))?,
+                    Plain::F64(v) if v.fract() == 0.0 && v.abs() < 9.22e18 => v as i64,
+                    _ => return Err(DeError::expected("integer", plain)),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+signed_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_plain(&self) -> Plain {
+                let v = *self as u64;
+                if let Ok(i) = i64::try_from(v) { Plain::I64(i) } else { Plain::U64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+                let v: u64 = match *plain {
+                    Plain::I64(v) => u64::try_from(v)
+                        .map_err(|_| DeError::new("negative value for unsigned target"))?,
+                    Plain::U64(v) => v,
+                    Plain::F64(v) if v.fract() == 0.0 && v >= 0.0 && v < 1.85e19 => v as u64,
+                    _ => return Err(DeError::expected("integer", plain)),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_plain(&self) -> Plain {
+        Plain::F64(*self)
+    }
+}
+impl<'de> Deserialize<'de> for f64 {
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        plain.as_f64().ok_or_else(|| DeError::expected("number", plain))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_plain(&self) -> Plain {
+        Plain::F64(f64::from(*self))
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        Ok(f64::from_plain(plain)? as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_plain(&self) -> Plain {
+        Plain::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        let s = plain.as_str().ok_or_else(|| DeError::expected("single-char string", plain))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_plain(&self) -> Plain {
+        Plain::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        plain.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", plain))
+    }
+}
+
+impl Serialize for str {
+    fn to_plain(&self) -> Plain {
+        Plain::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_plain(&self) -> Plain {
+        Plain::Null
+    }
+}
+impl<'de> Deserialize<'de> for () {
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        match plain {
+            Plain::Null => Ok(()),
+            _ => Err(DeError::expected("null", plain)),
+        }
+    }
+}
+
+// ---- containers -----------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_plain(&self) -> Plain {
+        (**self).to_plain()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_plain(&self) -> Plain {
+        (**self).to_plain()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        T::from_plain(plain).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_plain(&self) -> Plain {
+        match self {
+            Some(v) => v.to_plain(),
+            None => Plain::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        match plain {
+            Plain::Null => Ok(None),
+            other => T::from_plain(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_plain(&self) -> Plain {
+        Plain::Seq(self.iter().map(Serialize::to_plain).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_plain(&self) -> Plain {
+        self[..].to_plain()
+    }
+}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        let v = Vec::<T>::from_plain(plain)?;
+        let got = v.len();
+        <[T; N]>::try_from(v)
+            .map_err(|_| DeError::new(format!("expected array of {N} elements, got {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_plain(&self) -> Plain {
+        self[..].to_plain()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        let seq = plain.as_seq().ok_or_else(|| DeError::expected("array", plain))?;
+        seq.iter().map(T::from_plain).collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($t:ident . $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_plain(&self) -> Plain {
+                Plain::Seq(vec![$(self.$i.to_plain()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+                let seq = plain.as_seq().ok_or_else(|| DeError::expected("array", plain))?;
+                let expected = [$(stringify!($i)),+].len();
+                if seq.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected {expected}-tuple, got {} elements", seq.len()
+                    )));
+                }
+                Ok(($($t::from_plain(&seq[$i])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types usable as JSON object keys.
+pub trait MapKey: Sized {
+    /// Render the key as the JSON object key string.
+    fn to_key(&self) -> String;
+    /// Parse the key back from the object key string.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! int_key_impls {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| DeError::new(format!("bad integer key `{key}`")))
+            }
+        }
+    )*};
+}
+int_key_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_plain(&self) -> Plain {
+        Plain::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_plain())).collect())
+    }
+}
+impl<'de, K: MapKey + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        let m = plain.as_map().ok_or_else(|| DeError::expected("object", plain))?;
+        m.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_plain(v)?))).collect()
+    }
+}
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_plain(&self) -> Plain {
+        // Deterministic output: hash maps serialize in sorted key order.
+        let mut entries: Vec<(String, Plain)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.to_plain())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Plain::Map(entries)
+    }
+}
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        let m = plain.as_map().ok_or_else(|| DeError::expected("object", plain))?;
+        m.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_plain(v)?))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_widen_and_narrow() {
+        assert_eq!(42u64.to_plain(), Plain::I64(42));
+        assert_eq!(u64::MAX.to_plain(), Plain::U64(u64::MAX));
+        assert_eq!(u32::from_plain(&Plain::I64(7)).unwrap(), 7);
+        assert!(u32::from_plain(&Plain::I64(-1)).is_err());
+        assert_eq!(f64::from_plain(&Plain::I64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(None::<u8>.to_plain(), Plain::Null);
+        assert_eq!(Option::<u8>::from_plain(&Plain::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::from_plain(&Plain::I64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn maps_keep_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2u8);
+        m.insert("a".to_string(), 1u8);
+        let p = m.to_plain();
+        assert_eq!(p.get("a"), Some(&Plain::I64(1)));
+        assert_eq!(BTreeMap::<String, u8>::from_plain(&p).unwrap(), m);
+    }
+}

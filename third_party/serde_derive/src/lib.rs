@@ -1,0 +1,526 @@
+//! Functional stand-in for serde_derive.
+//!
+//! Parses the derive input with a hand-rolled token walker (no `syn` in the
+//! offline environment) and emits `serde::Serialize`/`serde::Deserialize`
+//! impls against the `Plain` data model of the vendored serde stand-in.
+//!
+//! Supported item shapes — exactly what the workspace derives:
+//!
+//! * named-field structs (field attrs: `skip_serializing_if = "path"`,
+//!   `default`) → JSON object;
+//! * newtype / tuple structs → inner value / array;
+//! * enums with unit, newtype, tuple and struct variants, externally
+//!   tagged as upstream (`"Variant"`, `{"Variant": ...}`);
+//! * `#[serde(untagged)]` enums → variants tried in declaration order.
+//!
+//! Generics are not supported and panic at expansion time with a clear
+//! message (the workspace derives only concrete types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- model ----------------------------------------------------------------
+
+struct Input {
+    name: String,
+    untagged: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    name: String,
+    /// `skip_serializing_if = "path"` predicate path, verbatim.
+    skip_if: Option<String>,
+    /// `default`: missing field deserializes via `Default::default()`.
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+// ---- parsing --------------------------------------------------------------
+
+struct SerdeAttrs {
+    untagged: bool,
+    skip_if: Option<String>,
+    default: bool,
+}
+
+/// Consume leading `#[...]` attribute groups, extracting serde attributes.
+fn take_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> SerdeAttrs {
+    let mut out = SerdeAttrs { untagged: false, skip_if: None, default: false };
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let Some(TokenTree::Group(g)) = tokens.next() else {
+                    panic!("serde_derive stub: malformed attribute")
+                };
+                parse_attr_group(g.stream(), &mut out);
+            }
+            _ => return out,
+        }
+    }
+}
+
+/// Parse the inside of one `#[...]`: only `serde(...)` lists matter.
+fn parse_attr_group(stream: TokenStream, out: &mut SerdeAttrs) {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comments, derive lists, etc.
+    }
+    let Some(TokenTree::Group(args)) = it.next() else { return };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(tt) = args.next() {
+        let TokenTree::Ident(id) = tt else { continue };
+        match id.to_string().as_str() {
+            "untagged" => out.untagged = true,
+            "default" => out.default = true,
+            "skip_serializing_if" => {
+                // `= "path"`
+                match (args.next(), args.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let s = lit.to_string();
+                        out.skip_if = Some(s.trim_matches('"').to_string());
+                    }
+                    _ => panic!("serde_derive stub: malformed skip_serializing_if"),
+                }
+            }
+            other => panic!("serde_derive stub: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Skip a field's type tokens: everything up to a comma at angle-bracket
+/// depth zero (generic argument commas are nested between `<`/`>` puncts).
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                tokens.next();
+                return;
+            }
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+/// Count the fields of a tuple struct/variant body (top-level commas).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut it = stream.into_iter().peekable();
+    let mut count = 0;
+    while it.peek().is_some() {
+        // A field exists; its leading attrs/vis are skipped by skip_type
+        // (they contain no top-level comma).
+        count += 1;
+        skip_type(&mut it);
+    }
+    count
+}
+
+/// Parse a named-field body: `[attrs] [pub] name: Type, ...`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut it);
+        // Visibility.
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                it.next(); // pub(crate) etc.
+            }
+        }
+        let Some(TokenTree::Ident(name)) = it.next() else { break };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde_derive stub: expected `:` after field `{name}`"),
+        }
+        skip_type(&mut it);
+        fields.push(Field {
+            name: name.to_string(),
+            skip_if: attrs.skip_if,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _attrs = take_attrs(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else { break };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                it.next();
+                Fields::Named(named)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Fields::Tuple(n)
+            }
+            _ => Fields::Unit,
+        };
+        // Separator (and any discriminant, which the workspace never uses).
+        match it.next() {
+            None => {
+                variants.push(Variant { name: name.to_string(), fields });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name: name.to_string(), fields });
+            }
+            Some(other) => {
+                panic!("serde_derive stub: unsupported token `{other}` after variant `{name}`")
+            }
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    let attrs = take_attrs(&mut it);
+    // Visibility.
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+    let item_kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, found {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = it.next() else {
+        panic!("serde_derive stub: expected type name")
+    };
+    let name = name.to_string();
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let kind = match item_kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("serde_derive stub: malformed struct body: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Input { name, untagged: attrs.untagged, kind }
+}
+
+// ---- codegen --------------------------------------------------------------
+
+fn named_fields_to_plain(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from(
+        "{ let mut __m: Vec<(String, serde::Plain)> = Vec::new();\n",
+    );
+    for f in fields {
+        let access = format!("{access_prefix}{}", f.name);
+        let push = format!(
+            "__m.push((\"{name}\".to_string(), serde::Serialize::to_plain(&{access})));",
+            name = f.name
+        );
+        if let Some(pred) = &f.skip_if {
+            out.push_str(&format!("if !{pred}(&{access}) {{ {push} }}\n"));
+        } else {
+            out.push_str(&push);
+            out.push('\n');
+        }
+    }
+    out.push_str("serde::Plain::Map(__m) }");
+    out
+}
+
+fn named_fields_from_plain(ty: &str, fields: &[Field], plain_expr: &str) -> String {
+    let mut out = format!(
+        "{{ let __m = {plain_expr}; \
+         let _ = __m;\n"
+    );
+    let mut inits = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "Default::default()".to_string()
+        } else {
+            format!("return Err(serde::DeError::missing(\"{ty}\", \"{name}\"))", name = f.name)
+        };
+        inits.push_str(&format!(
+            "{name}: match __m.get(\"{name}\") {{ \
+             Some(__v) => serde::Deserialize::from_plain(__v)?, \
+             None => {missing} }},\n",
+            name = f.name
+        ));
+    }
+    out.push_str(&format!("Ok({ty} {{ {inits} }}) }}"));
+    out
+}
+
+fn gen_struct(name: &str, fields: &Fields) -> String {
+    let (ser_body, de_body) = match fields {
+        Fields::Named(fields) => (
+            named_fields_to_plain(fields, "self."),
+            named_fields_from_plain(
+                name,
+                fields,
+                "__plain.as_map().map(|__mm| serde::Plain::Map(__mm.to_vec())) \
+                 .ok_or_else(|| serde::DeError::expected(\"object\", __plain))?",
+            ),
+        ),
+        Fields::Tuple(1) => (
+            "serde::Serialize::to_plain(&self.0)".to_string(),
+            format!("Ok({name}(serde::Deserialize::from_plain(__plain)?))"),
+        ),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_plain(&self.{i})")).collect();
+            let parse: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_plain(&__seq[{i}])?"))
+                .collect();
+            (
+                format!("serde::Plain::Seq(vec![{}])", elems.join(", ")),
+                format!(
+                    "{{ let __seq = __plain.as_seq() \
+                     .ok_or_else(|| serde::DeError::expected(\"array\", __plain))?; \
+                     if __seq.len() != {n} {{ \
+                     return Err(serde::DeError::new(\"wrong tuple arity for {name}\")); }} \
+                     Ok({name}({})) }}",
+                    parse.join(", ")
+                ),
+            )
+        }
+        Fields::Unit => (
+            "serde::Plain::Null".to_string(),
+            format!("{{ let _ = __plain; Ok({name}) }}"),
+        ),
+    };
+    impl_pair(name, &ser_body, &de_body)
+}
+
+fn variant_payload_to_plain(v: &Variant) -> (String, String) {
+    // Returns (pattern, payload expression) for a `match` arm.
+    match &v.fields {
+        Fields::Unit => (v.name.clone(), String::new()),
+        Fields::Tuple(1) => (format!("{}(__f0)", v.name), "serde::Serialize::to_plain(__f0)".into()),
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let elems: Vec<String> =
+                binds.iter().map(|b| format!("serde::Serialize::to_plain({b})")).collect();
+            (
+                format!("{}({})", v.name, binds.join(", ")),
+                format!("serde::Plain::Seq(vec![{}])", elems.join(", ")),
+            )
+        }
+        Fields::Named(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            (
+                format!("{} {{ {} }}", v.name, binds.join(", ")),
+                named_fields_to_plain(fields, ""),
+            )
+        }
+    }
+}
+
+fn variant_payload_from_plain(ty: &str, v: &Variant, plain_expr: &str) -> String {
+    match &v.fields {
+        Fields::Unit => format!("{{ let _ = {plain_expr}; Ok({ty}::{}) }}", v.name),
+        Fields::Tuple(1) => format!(
+            "Ok({ty}::{}(serde::Deserialize::from_plain({plain_expr})?))",
+            v.name
+        ),
+        Fields::Tuple(n) => {
+            let parse: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_plain(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __v = {plain_expr}; let __seq = __v.as_seq() \
+                 .ok_or_else(|| serde::DeError::expected(\"array\", __v))?; \
+                 if __seq.len() != {n} {{ \
+                 return Err(serde::DeError::new(\"wrong arity for {ty}::{name}\")); }} \
+                 Ok({ty}::{name}({})) }}",
+                parse.join(", "),
+                name = v.name,
+            )
+        }
+        Fields::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let missing = if f.default {
+                    "Default::default()".to_string()
+                } else {
+                    format!(
+                        "return Err(serde::DeError::missing(\"{ty}::{var}\", \"{name}\"))",
+                        var = v.name,
+                        name = f.name
+                    )
+                };
+                inits.push_str(&format!(
+                    "{name}: match __v.get(\"{name}\") {{ \
+                     Some(__f) => serde::Deserialize::from_plain(__f)?, \
+                     None => {missing} }},\n",
+                    name = f.name
+                ));
+            }
+            format!(
+                "{{ let __v = {plain_expr}; if __v.as_map().is_none() {{ \
+                 return Err(serde::DeError::expected(\"object\", __v)); }} \
+                 Ok({ty}::{name} {{ {inits} }}) }}",
+                name = v.name,
+            )
+        }
+    }
+}
+
+fn gen_enum(name: &str, variants: &[Variant], untagged: bool) -> String {
+    // Serialize.
+    let mut ser_arms = String::new();
+    for v in variants {
+        let (pat, payload) = variant_payload_to_plain(v);
+        let value = if untagged {
+            match &v.fields {
+                Fields::Unit => "serde::Plain::Null".to_string(),
+                _ => payload.clone(),
+            }
+        } else {
+            match &v.fields {
+                Fields::Unit => format!("serde::Plain::Str(\"{}\".to_string())", v.name),
+                _ => format!(
+                    "serde::Plain::Map(vec![(\"{}\".to_string(), {payload})])",
+                    v.name
+                ),
+            }
+        };
+        ser_arms.push_str(&format!("{name}::{pat} => {value},\n"));
+    }
+    let ser_body = format!("match self {{ {ser_arms} }}");
+
+    // Deserialize.
+    let de_body = if untagged {
+        let mut tries = String::new();
+        for v in variants {
+            let attempt = variant_payload_from_plain(name, v, "__plain");
+            tries.push_str(&format!(
+                "if let Ok(__ok) = (|| -> Result<{name}, serde::DeError> {{ {attempt} }})() \
+                 {{ return Ok(__ok); }}\n"
+            ));
+        }
+        format!(
+            "{{ {tries} Err(serde::DeError::new(\
+             \"no untagged variant of {name} matched\")) }}"
+        )
+    } else {
+        let mut unit_arms = String::new();
+        let mut tagged_arms = String::new();
+        for v in variants {
+            match v.fields {
+                Fields::Unit => {
+                    unit_arms.push_str(&format!("\"{0}\" => Ok({name}::{0}),\n", v.name));
+                }
+                _ => {
+                    let parse = variant_payload_from_plain(name, v, "__content");
+                    tagged_arms.push_str(&format!("\"{}\" => {parse},\n", v.name));
+                }
+            }
+        }
+        format!(
+            "match __plain {{ \
+             serde::Plain::Str(__s) => match __s.as_str() {{ \
+               {unit_arms} \
+               __other => Err(serde::DeError::new(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))), \
+             }}, \
+             serde::Plain::Map(__m) if __m.len() == 1 => {{ \
+               let (__tag, __content) = &__m[0]; \
+               match __tag.as_str() {{ \
+                 {tagged_arms} \
+                 __other => Err(serde::DeError::new(format!(\
+                   \"unknown variant `{{__other}}` of {name}\"))), \
+               }} \
+             }}, \
+             __other => Err(serde::DeError::expected(\"variant of {name}\", __other)), \
+             }}"
+        )
+    };
+    impl_pair(name, &ser_body, &de_body)
+}
+
+fn impl_pair(name: &str, ser_body: &str, de_body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+           fn to_plain(&self) -> serde::Plain {{ {ser_body} }}\n\
+         }}\n\
+         #[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+           fn from_plain(__plain: &serde::Plain) -> Result<Self, serde::DeError> {{ {de_body} }}\n\
+         }}\n"
+    )
+}
+
+fn expand(input: TokenStream) -> String {
+    let input = parse_input(input);
+    match &input.kind {
+        Kind::Struct(fields) => gen_struct(&input.name, fields),
+        Kind::Enum(variants) => gen_enum(&input.name, variants, input.untagged),
+    }
+}
+
+/// Both derives expand to the same `Serialize + Deserialize` impl pair (the
+/// workspace always derives them together); the second expansion would
+/// collide, so each derive checks which one runs first via a const marker.
+/// Simpler and sufficient here: `Serialize` emits both impls, and
+/// `Deserialize` emits nothing when `Serialize` is also being derived — but
+/// proc macros cannot see sibling derives, so instead each macro emits only
+/// its own impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let full = expand(input);
+    // Keep only the Serialize impl (first of the pair).
+    let split = full.find("impl<'de> serde::Deserialize").expect("pair");
+    let only_ser = full[..split].trim_end().trim_end_matches("#[automatically_derived]");
+    only_ser.parse().unwrap_or_else(|e| panic!("serde_derive stub codegen error: {e}\n{only_ser}"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let full = expand(input);
+    let split = full.find("#[automatically_derived]\nimpl<'de> serde::Deserialize").expect("pair");
+    let only_de = &full[split..];
+    only_de.parse().unwrap_or_else(|e| panic!("serde_derive stub codegen error: {e}\n{only_de}"))
+}

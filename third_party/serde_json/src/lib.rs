@@ -1,0 +1,583 @@
+//! Functional stand-in for serde_json over the vendored serde's `Plain`
+//! data model: a recursive-descent JSON parser, compact and 2-space-pretty
+//! writers, and a `Value` tree mirroring the upstream API surface the
+//! workspace uses. JSON only — no other formats, no zero-copy borrowing.
+
+use serde::Plain;
+
+// ---- error ----------------------------------------------------------------
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---- public entry points --------------------------------------------------
+
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&value.to_plain(), &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_plain(), 0, &mut out);
+    Ok(out)
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(s: &'a str) -> Result<T> {
+    let plain = Parser::new(s).parse_document()?;
+    Ok(T::from_plain(&plain)?)
+}
+
+// ---- writer ---------------------------------------------------------------
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Shortest round-trip form; integral floats keep a ".0" so the
+        // value parses back as a float, matching upstream serde_json.
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        // Upstream serde_json rejects non-finite numbers; our metrics never
+        // produce them, but emit null rather than invalid JSON if one slips.
+        out.push_str("null");
+    }
+}
+
+fn write_compact(p: &Plain, out: &mut String) {
+    match p {
+        Plain::Null => out.push_str("null"),
+        Plain::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Plain::I64(v) => out.push_str(&v.to_string()),
+        Plain::U64(v) => out.push_str(&v.to_string()),
+        Plain::F64(v) => write_f64(*v, out),
+        Plain::Str(s) => write_escaped(s, out),
+        Plain::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Plain::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(p: &Plain, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    let close_pad = "  ".repeat(indent);
+    match p {
+        Plain::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Plain::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// ---- parser ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn parse_document(&mut self) -> Result<Plain> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error::new(format!("trailing characters at byte {}", self.pos)));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of JSON input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char, self.pos, self.bytes[self.pos] as char
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Plain> {
+        match self.peek()? {
+            b'n' => self.keyword("null", Plain::Null),
+            b't' => self.keyword("true", Plain::Bool(true)),
+            b'f' => self.keyword("false", Plain::Bool(false)),
+            b'"' => Ok(Plain::Str(self.parse_string()?)),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Plain) -> Result<Plain> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            // Surrogate pairs are unused by the workspace's
+                            // BMP-only output; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                // Multi-byte UTF-8: copy raw continuation bytes.
+                b if b >= 0x80 => {
+                    let start = self.pos - 1;
+                    while self.bytes.get(self.pos).is_some_and(|&c| c & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+                    );
+                }
+                b => out.push(b as char),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Plain> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Plain::I64(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Plain::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Plain::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Plain> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Plain::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Plain::Seq(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, found `{}`",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Plain> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Plain::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Plain::Map(entries));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, found `{}`",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+}
+
+// ---- Value ----------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K, V>(std::collections::BTreeMap<K, V>);
+
+impl Map<String, Value> {
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, String, Value> {
+        self.0.iter()
+    }
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.get(key)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl Value {
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+pub trait ValueIndex {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value>;
+}
+
+impl ValueIndex for &str {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        value.as_object().and_then(|m| m.get(self))
+    }
+}
+impl ValueIndex for usize {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        value.as_array().and_then(|a| a.get(*self))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        self.get(index).unwrap_or(&NULL_VALUE)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl serde::Serialize for Value {
+    fn to_plain(&self) -> Plain {
+        match self {
+            Value::Null => Plain::Null,
+            Value::Bool(b) => Plain::Bool(*b),
+            Value::Number(n) => Plain::F64(*n),
+            Value::String(s) => Plain::Str(s.clone()),
+            Value::Array(items) => Plain::Seq(items.iter().map(|v| v.to_plain()).collect()),
+            Value::Object(map) => {
+                Plain::Map(map.iter().map(|(k, v)| (k.clone(), v.to_plain())).collect())
+            }
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn from_plain(plain: &Plain) -> std::result::Result<Self, serde::DeError> {
+        Ok(match plain {
+            Plain::Null => Value::Null,
+            Plain::Bool(b) => Value::Bool(*b),
+            Plain::I64(v) => Value::Number(*v as f64),
+            Plain::U64(v) => Value::Number(*v as f64),
+            Plain::F64(v) => Value::Number(*v),
+            Plain::Str(s) => Value::String(s.clone()),
+            Plain::Seq(items) => Value::Array(
+                items
+                    .iter()
+                    .map(Value::from_plain)
+                    .collect::<std::result::Result<_, _>>()?,
+            ),
+            Plain::Map(entries) => {
+                let mut map = std::collections::BTreeMap::new();
+                for (k, v) in entries {
+                    map.insert(k.clone(), Value::from_plain(v)?);
+                }
+                Value::Object(Map(map))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars_and_containers() {
+        let v: Value = from_str("{\"a\": [1, 2.5, \"x\\n\", null, true]}").unwrap();
+        assert_eq!(v["a"][0].as_i64(), Some(1));
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert_eq!(v["a"][2], "x\n");
+        assert!(v["a"][3].is_null());
+        assert_eq!(v["a"][4].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn compact_and_pretty_formats() {
+        let v: Vec<u32> = vec![1, 2];
+        assert_eq!(to_string(&v).unwrap(), "[1,2]");
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn floats_keep_fraction_marker() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2") .is_err());
+        assert!(from_str::<Value>("[] trailing").is_err());
+    }
+}
