@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the decoder fast path: compile + price of a
+//! GPT-style decode at growing generation lengths, compressed (the
+//! `Step::Repeat` program the compiler now emits) versus unrolled (the
+//! explicit step sequence it used to emit). The gap between the two
+//! groups is the tentpole win: compressed cost is flat in `decode_len`
+//! while unrolled cost grows linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use transpim::arch::{ArchConfig, ArchKind};
+use transpim::exec::Executor;
+use transpim_dataflow::token_flow;
+use transpim_transformer::workload::Workload;
+
+const DECODE_LENS: [usize; 3] = [256, 1024, 4096];
+
+fn gpt(decode_len: usize) -> Workload {
+    let mut w = Workload::lm();
+    w.decode_len = decode_len;
+    w
+}
+
+fn bench_decode_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_compile");
+    for decode in DECODE_LENS {
+        let w = gpt(decode);
+        g.bench_with_input(BenchmarkId::new("compressed", decode), &w, |b, w| {
+            b.iter(|| black_box(token_flow::compile(black_box(w), 2048)))
+        });
+        g.bench_with_input(BenchmarkId::new("unrolled", decode), &w, |b, w| {
+            b.iter(|| black_box(token_flow::compile(black_box(w), 2048).unroll()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode_price(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_price");
+    g.sample_size(10);
+    for decode in DECODE_LENS {
+        let prog = token_flow::compile(&gpt(decode), 2048);
+        let unrolled = prog.unroll();
+        g.bench_with_input(BenchmarkId::new("compressed", decode), &prog, |b, p| {
+            b.iter(|| {
+                let mut ex = Executor::new(ArchConfig::new(ArchKind::TransPim));
+                black_box(ex.run(black_box(p)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("unrolled", decode), &unrolled, |b, p| {
+            b.iter(|| {
+                let mut ex = Executor::new(ArchConfig::new(ArchKind::TransPim));
+                black_box(ex.run(black_box(p)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decode_compile, bench_decode_price);
+criterion_main!(benches);

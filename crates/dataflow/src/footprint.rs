@@ -84,6 +84,17 @@ pub fn token_flow_footprint(
     BankFootprint { weights, activations, ring_buffers, scores, kv_cache }
 }
 
+/// Bytes of K/V cache one generated token appends across the whole ring
+/// (K and V rows for every decoder layer). Equivalently: each bank's
+/// `kv_cache` footprint grows by this amount per full ring round of
+/// `banks` generated tokens, since banks take appends in turn. This is
+/// the steady per-token reservation the in-place `KvCache`/`ShardedKv`
+/// appends amortize, and the linear `delta` the compiled decode loop's
+/// `Step::Repeat` carries for its memory-touch steps.
+pub fn kv_growth_per_token(cfg: &ModelConfig, p: Precision) -> u64 {
+    2 * cfg.d_model as u64 * (u64::from(p.act_bits) / 8) * cfg.decoder_layers as u64
+}
+
 /// The largest sequence length whose token-dataflow footprint fits banks of
 /// `bank_bytes` when sharded over `banks` banks (binary search; 0 if even
 /// one token does not fit).
@@ -152,6 +163,19 @@ mod tests {
         let small = max_seq_len(&cfg, 256, BANK, p);
         let large = max_seq_len(&cfg, 2048, BANK, p);
         assert!(large > small, "scaling banks must extend L: {small} vs {large}");
+    }
+
+    #[test]
+    fn kv_growth_matches_footprint_slope() {
+        // One full ring round (`banks` generated tokens) grows each bank's
+        // kv share by exactly the per-token growth constant.
+        let cfg = pegasus();
+        let p = Precision::default();
+        let banks = 2048;
+        let base = token_flow_footprint(&cfg, 4096, banks, banks, p).kv_cache;
+        let next = token_flow_footprint(&cfg, 4096, 2 * banks, banks, p).kv_cache;
+        assert_eq!(next - base, kv_growth_per_token(&cfg, p));
+        assert!(kv_growth_per_token(&cfg, p) > 0);
     }
 
     #[test]

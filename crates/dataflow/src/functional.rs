@@ -150,14 +150,18 @@ impl ShardedKv {
 
     /// Append to a specific bank.
     ///
+    /// In place and amortized O(rows appended) — the shard grows through
+    /// [`Matrix::push_rows`], not a clone-and-concatenate, so decoding `T`
+    /// tokens does O(T) row-copy work instead of O(T²).
+    ///
     /// # Panics
     ///
     /// Panics if `bank` is out of range or the widths mismatch.
     pub fn append_at(&mut self, bank: usize, k_new: Matrix, v_new: Matrix) {
         assert!(bank < self.k.len(), "bank {bank} out of range");
         assert_eq!(k_new.cols(), self.d, "width mismatch");
-        self.k[bank] = Matrix::vcat(&[self.k[bank].clone(), k_new]);
-        self.v[bank] = Matrix::vcat(&[self.v[bank].clone(), v_new]);
+        self.k[bank].push_rows(&k_new);
+        self.v[bank].push_rows(&v_new);
     }
 
     /// Tokens held by the fullest bank (the decoder's critical path).
@@ -334,6 +338,25 @@ mod tests {
         let sizes: Vec<usize> = kv.k.iter().map(Matrix::rows).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 7);
         assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn sharded_append_matches_vcat_rebuild() {
+        // In-place shard growth must be bitwise identical to rebuilding
+        // each shard by concatenation.
+        let mut kv = ShardedKv::empty(2, 3);
+        let mut rebuilt: Vec<Vec<Matrix>> = vec![Vec::new(); 2];
+        for i in 0..9 {
+            let m = Matrix::from_fn(1, 3, |_, c| (i * 3 + c) as f32 * 0.5);
+            let bank = i % 2;
+            kv.append_at(bank, m.clone(), m.clone());
+            rebuilt[bank].push(m);
+        }
+        for (bank, parts) in rebuilt.iter().enumerate() {
+            let want = Matrix::vcat(parts);
+            assert_eq!(kv.k[bank].as_slice(), want.as_slice());
+            assert_eq!(kv.v[bank].as_slice(), want.as_slice());
+        }
     }
 
     // The equivalence tests against the monolithic reference live in

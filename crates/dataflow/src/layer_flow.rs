@@ -17,7 +17,7 @@
 //! over all banks); only the movement differs — which is exactly the
 //! comparison the paper's Figure 10/11 makes.
 
-use crate::ir::{BankRange, Precision, Program, Step};
+use crate::ir::{BankRange, Precision, Program, RepeatCompressor, Step};
 use transpim_transformer::model::ModelConfig;
 use transpim_transformer::workload::Workload;
 
@@ -43,11 +43,21 @@ pub fn compile_with(workload: &Workload, total_banks: u32, p: Precision) -> Prog
     }
 
     if cfg.decoder_layers > 0 && workload.decode_len > 0 {
+        // Loop-compressed emission: the per-token block (all layers) is fed
+        // to the compressor, which folds consecutive blocks whenever every
+        // step is affine in its predecessor. The `ceil((l+t)/N)` per-bank
+        // sizes are only piecewise-affine, so runs flush at plateau edges —
+        // compression is opportunistic, the denoted step sequence is
+        // unchanged either way.
+        let mut comp = RepeatCompressor::new();
+        let mut block = Vec::new();
         for t in 0..workload.decode_len as u64 {
             for _ in 0..cfg.decoder_layers {
-                decoder_step_layer(&mut prog, cfg, workload.seq_len as u64, t, b, total_banks, p);
+                decoder_step_layer(&mut block, cfg, workload.seq_len as u64, t, b, total_banks, p);
             }
+            comp.push_block(&mut prog, &mut block);
         }
+        comp.flush(&mut prog);
     }
     prog
 }
@@ -242,7 +252,7 @@ fn encoder_layer(
 }
 
 fn decoder_step_layer(
-    prog: &mut Program,
+    out: &mut Vec<Step>,
     cfg: &ModelConfig,
     l: u64,
     t: u64,
@@ -264,78 +274,78 @@ fn decoder_step_layer(
     // output-split across the banks, so this layer's weights are
     // *scattered* (each bank holds only its output columns) and re-streamed
     // every step, while the new token's state is duplicated to every bank.
-    prog.push(Step::scope("dec.fc"));
+    out.push(Step::scope("dec.fc"));
     let weight_bytes =
         (4 * d * d + if cfg.cross_attention { 4 * d * d } else { 0 } + 2 * d * dff) * act_b;
-    prog.push(Step::HostScatter { total_bytes: weight_bytes });
-    prog.push(Step::ShuffleAll { total_bytes: (2 * ctx * d * act_b + d * act_b) * b });
-    prog.push(Step::PointwiseMul {
+    out.push(Step::HostScatter { total_bytes: weight_bytes });
+    out.push(Step::ShuffleAll { total_bytes: (2 * ctx * d * act_b + d * act_b) * b });
+    out.push(Step::PointwiseMul {
         elems_per_bank: per_bank(3 * d * d * b),
         total_elems: 3 * d * d * b,
         a_bits: p.act_bits,
         b_bits: p.act_bits,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: d as u32,
         bits: p.acc_bits,
         vectors_per_bank: per_bank(3 * d * b),
         total_vectors: 3 * d * b,
     });
 
-    prog.push(Step::scope("dec.attn"));
-    prog.push(Step::BroadcastDup { bytes: d * act_b * b, banks: total_banks }); // q to all banks
-    prog.push(Step::PointwiseMul {
+    out.push(Step::scope("dec.attn"));
+    out.push(Step::BroadcastDup { bytes: d * act_b * b, banks: total_banks }); // q to all banks
+    out.push(Step::PointwiseMul {
         elems_per_bank: per_bank(ctx * d * b),
         total_elems: ctx * d * b,
         a_bits: p.act_bits,
         b_bits: p.act_bits,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: (d / h) as u32,
         bits: p.acc_bits,
         vectors_per_bank: per_bank(ctx * h * b),
         total_vectors: ctx * h * b,
     });
-    prog.push(Step::Exp {
+    out.push(Step::Exp {
         elems_per_bank: per_bank(ctx * h * b),
         total_elems: ctx * h * b,
         bits: p.softmax_bits,
         order: p.taylor_order,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: ctx.div_ceil(n).max(1) as u32,
         bits: p.softmax_bits,
         vectors_per_bank: h,
         total_vectors: h * n * b,
     });
-    prog.push(Step::PairwiseReduceTree {
+    out.push(Step::PairwiseReduceTree {
         banks,
         bytes: h * sm_b,
         bits: p.softmax_bits,
         elems: h,
         parallel: b as u32,
     });
-    prog.push(Step::Recip { per_bank: h, total: h * b });
-    prog.push(Step::BroadcastDup { bytes: h * sm_b * b, banks: total_banks });
-    prog.push(Step::PointwiseMul {
+    out.push(Step::Recip { per_bank: h, total: h * b });
+    out.push(Step::BroadcastDup { bytes: h * sm_b * b, banks: total_banks });
+    out.push(Step::PointwiseMul {
         elems_per_bank: per_bank(ctx * h * b),
         total_elems: ctx * h * b,
         a_bits: p.softmax_bits,
         b_bits: p.softmax_bits,
     });
-    prog.push(Step::PointwiseMul {
+    out.push(Step::PointwiseMul {
         elems_per_bank: per_bank(ctx * d * b),
         total_elems: ctx * d * b,
         a_bits: p.softmax_bits,
         b_bits: p.act_bits,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: ctx.div_ceil(n).max(1) as u32,
         bits: p.acc_bits,
         vectors_per_bank: d,
         total_vectors: d * n * b,
     });
-    prog.push(Step::PairwiseReduceTree {
+    out.push(Step::PairwiseReduceTree {
         banks,
         bytes: d * sm_b,
         bits: p.acc_bits,
@@ -343,33 +353,33 @@ fn decoder_step_layer(
         parallel: b as u32,
     });
     let proj_matvecs: u64 = if cfg.cross_attention { 4 } else { 2 };
-    prog.push(Step::PointwiseMul {
+    out.push(Step::PointwiseMul {
         elems_per_bank: per_bank(proj_matvecs * d * d * b),
         total_elems: proj_matvecs * d * d * b,
         a_bits: p.act_bits,
         b_bits: p.act_bits,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: d as u32,
         bits: p.acc_bits,
         vectors_per_bank: per_bank(proj_matvecs * d * b),
         total_vectors: proj_matvecs * d * b,
     });
 
-    prog.push(Step::scope("dec.ffn"));
-    prog.push(Step::PointwiseMul {
+    out.push(Step::scope("dec.ffn"));
+    out.push(Step::PointwiseMul {
         elems_per_bank: per_bank(2 * d * dff * b),
         total_elems: 2 * d * dff * b,
         a_bits: p.act_bits,
         b_bits: p.act_bits,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: d as u32,
         bits: p.acc_bits,
         vectors_per_bank: per_bank(2 * dff * b),
         total_vectors: 2 * dff * b,
     });
-    prog.push(Step::MemTouch {
+    out.push(Step::MemTouch {
         bytes_per_bank: per_bank(d * act_b * b),
         total_bytes: d * act_b * b,
     });
@@ -419,7 +429,7 @@ mod tests {
     fn no_ring_broadcasts_in_layer_flow() {
         let w = Workload::imdb();
         let prog = compile(&w, 2048);
-        assert!(!prog.steps.iter().any(|s| matches!(s, Step::RingBroadcast { .. })));
-        assert!(prog.steps.iter().any(|s| matches!(s, Step::BroadcastDup { .. })));
+        assert!(!prog.steps().iter().any(|s| matches!(s, Step::RingBroadcast { .. })));
+        assert!(prog.steps().iter().any(|s| matches!(s, Step::BroadcastDup { .. })));
     }
 }

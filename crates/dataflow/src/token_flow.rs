@@ -12,7 +12,7 @@
 //! against its locally-held `K`/`V` columns, and the partial outputs are
 //! combined with the multi-step pairwise reduction tree of Section IV-B2.
 
-use crate::ir::{BankRange, Precision, Program, Step};
+use crate::ir::{BankRange, Precision, Program, RepeatCompressor, Step};
 use crate::sharding::Sharding;
 use serde::{Deserialize, Serialize};
 use transpim_transformer::model::ModelConfig;
@@ -84,20 +84,60 @@ pub fn compile_full(
                 * u64::from(p.act_bits)
                 / 8,
         });
-        for t in 0..workload.decode_len as u64 {
-            for _ in 0..cfg.decoder_layers {
-                decoder_step_layer(
-                    &mut prog,
-                    cfg,
-                    shard.banks,
-                    shard.seq_len,
-                    t,
-                    batch,
-                    p,
-                    placement,
-                );
+        // The generation loop is emitted loop-compressed: every decoder
+        // block for token `t` depends on `t` only through `r_gen`, so
+        // identical blocks fold into zero-delta `Step::Repeat`s and
+        // affine-growing blocks (LastBank) fold with per-iteration deltas.
+        // The compiled program is O(decoder_layers) steps, not
+        // O(decode_len × decoder_layers).
+        let decode = workload.decode_len as u64;
+        let layers = cfg.decoder_layers as u64;
+        let mut comp = RepeatCompressor::new();
+        let mut block = Vec::new();
+        match placement {
+            DecoderPlacement::Balanced => {
+                // `r_gen = ceil(t/N)` is constant over runs of N tokens:
+                // emit one layer block per plateau and repeat it
+                // arithmetically for every (token, layer) pair in the run.
+                let n = u64::from(shard.banks.count);
+                let mut t = 0;
+                while t < decode {
+                    let run_end = if t == 0 { 1 } else { (t.div_ceil(n) * n + 1).min(decode) };
+                    decoder_step_layer(
+                        &mut block,
+                        cfg,
+                        shard.banks,
+                        shard.seq_len,
+                        t,
+                        batch,
+                        p,
+                        placement,
+                    );
+                    comp.push_block_times(&mut prog, &mut block, (run_end - t) * layers);
+                    t = run_end;
+                }
+            }
+            DecoderPlacement::LastBank => {
+                // `r_gen = t` grows by one per token: per-token blocks (all
+                // layers) fold into a single affine repeat.
+                for t in 0..decode {
+                    for _ in 0..layers {
+                        decoder_step_layer(
+                            &mut block,
+                            cfg,
+                            shard.banks,
+                            shard.seq_len,
+                            t,
+                            batch,
+                            p,
+                            placement,
+                        );
+                    }
+                    comp.push_block(&mut prog, &mut block);
+                }
             }
         }
+        comp.flush(&mut prog);
     }
     prog
 }
@@ -286,7 +326,7 @@ fn encoder_layer(
 /// Figure 5).
 #[allow(clippy::too_many_arguments)]
 fn decoder_step_layer(
-    prog: &mut Program,
+    out: &mut Vec<Step>,
     cfg: &ModelConfig,
     banks: BankRange,
     seq_len: u32,
@@ -315,32 +355,32 @@ fn decoder_step_layer(
 
     // ---- FC for the new token: output-parallel matvec on resident weight
     // slices, then Q_new broadcast (K_new/V_new stay with their owner).
-    prog.push(Step::scope("dec.fc"));
-    prog.push(Step::OneToAll { src: banks.start, banks, bytes: d * act_b, parallel: batch });
+    out.push(Step::scope("dec.fc"));
+    out.push(Step::OneToAll { src: banks.start, banks, bytes: d * act_b, parallel: batch });
     let fc_mults = 3 * d * d;
-    prog.push(Step::PointwiseMul {
+    out.push(Step::PointwiseMul {
         elems_per_bank: fc_mults.div_ceil(n),
         total_elems: fc_mults * b,
         a_bits: p.act_bits,
         b_bits: p.act_bits,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: d as u32,
         bits: p.acc_bits,
         vectors_per_bank: (3 * d).div_ceil(n),
         total_vectors: 3 * d * b,
     });
-    prog.push(Step::OneToAll { src: banks.start, banks, bytes: d * act_b, parallel: batch });
+    out.push(Step::OneToAll { src: banks.start, banks, bytes: d * act_b, parallel: batch });
 
     // ---- Attention of the new token against distributed K/V columns.
-    prog.push(Step::scope("dec.attn"));
-    prog.push(Step::PointwiseMul {
+    out.push(Step::scope("dec.attn"));
+    out.push(Step::PointwiseMul {
         elems_per_bank: r_att * d,
         total_elems: r_att * d * n * b,
         a_bits: p.act_bits,
         b_bits: p.act_bits,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: (d / h) as u32,
         bits: p.acc_bits,
         vectors_per_bank: r_att * h,
@@ -348,47 +388,47 @@ fn decoder_step_layer(
     });
     // Distributed Softmax over the single score row: local exponents,
     // tree-reduced row sum, reciprocal broadcast back.
-    prog.push(Step::Exp {
+    out.push(Step::Exp {
         elems_per_bank: r_att * h,
         total_elems: r_att * h * n * b,
         bits: p.softmax_bits,
         order: p.taylor_order,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: r_att.max(1) as u32,
         bits: p.softmax_bits,
         vectors_per_bank: h,
         total_vectors: h * n * b,
     });
-    prog.push(Step::PairwiseReduceTree {
+    out.push(Step::PairwiseReduceTree {
         banks,
         bytes: h * sm_b,
         bits: p.softmax_bits,
         elems: h,
         parallel: batch,
     });
-    prog.push(Step::Recip { per_bank: h, total: h * b });
-    prog.push(Step::OneToAll { src: banks.start, banks, bytes: h * sm_b, parallel: batch });
-    prog.push(Step::PointwiseMul {
+    out.push(Step::Recip { per_bank: h, total: h * b });
+    out.push(Step::OneToAll { src: banks.start, banks, bytes: h * sm_b, parallel: batch });
+    out.push(Step::PointwiseMul {
         elems_per_bank: r_att * h,
         total_elems: r_att * h * n * b,
         a_bits: p.softmax_bits,
         b_bits: p.softmax_bits,
     });
     // Weighted values: per-bank partial output, then the reduction tree.
-    prog.push(Step::PointwiseMul {
+    out.push(Step::PointwiseMul {
         elems_per_bank: r_att * d,
         total_elems: r_att * d * n * b,
         a_bits: p.softmax_bits,
         b_bits: p.act_bits,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: r_att.max(1) as u32,
         bits: p.acc_bits,
         vectors_per_bank: d,
         total_vectors: d * n * b,
     });
-    prog.push(Step::PairwiseReduceTree {
+    out.push(Step::PairwiseReduceTree {
         banks,
         bytes: d * sm_b,
         bits: p.acc_bits,
@@ -400,13 +440,13 @@ fn decoder_step_layer(
     // encoder context (already included in r_att for cost purposes when
     // cross_attention is on; the extra Q/O projections are charged here).
     let proj_matvecs: u64 = if cfg.cross_attention { 2 + 2 } else { 2 }; // Wo (+Wq2, Wo2)
-    prog.push(Step::PointwiseMul {
+    out.push(Step::PointwiseMul {
         elems_per_bank: (proj_matvecs * d * d).div_ceil(n),
         total_elems: proj_matvecs * d * d * b,
         a_bits: p.act_bits,
         b_bits: p.act_bits,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: d as u32,
         bits: p.acc_bits,
         vectors_per_bank: (proj_matvecs * d).div_ceil(n),
@@ -414,20 +454,20 @@ fn decoder_step_layer(
     });
 
     // ---- FFN matvecs, output-parallel on resident slices.
-    prog.push(Step::scope("dec.ffn"));
-    prog.push(Step::PointwiseMul {
+    out.push(Step::scope("dec.ffn"));
+    out.push(Step::PointwiseMul {
         elems_per_bank: (2 * d * dff).div_ceil(n),
         total_elems: 2 * d * dff * b,
         a_bits: p.act_bits,
         b_bits: p.act_bits,
     });
-    prog.push(Step::Reduce {
+    out.push(Step::Reduce {
         vec_len: d as u32,
         bits: p.acc_bits,
         vectors_per_bank: (2 * dff).div_ceil(n),
         total_vectors: 2 * dff * b,
     });
-    prog.push(Step::MemTouch { bytes_per_bank: d * act_b, total_bytes: d * act_b * n * b });
+    out.push(Step::MemTouch { bytes_per_bank: d * act_b, total_bytes: d * act_b * n * b });
 }
 
 #[cfg(test)]
@@ -441,7 +481,7 @@ mod tests {
         let prog = compile(&w, 2048);
         // 12 layers, each with 2 ring broadcasts (batched IMDB shards span
         // 128 banks each).
-        let rings = prog.steps.iter().filter(|s| matches!(s, Step::RingBroadcast { .. })).count();
+        let rings = prog.steps().iter().filter(|s| matches!(s, Step::RingBroadcast { .. })).count();
         assert_eq!(rings, 24);
         assert!(prog.host_bytes() > 0);
     }
@@ -463,10 +503,18 @@ mod tests {
         let mut w = Workload::pubmed();
         w.decode_len = 2; // keep the program small
         let prog = compile(&w, 256);
-        let trees =
-            prog.steps.iter().filter(|s| matches!(s, Step::PairwiseReduceTree { .. })).count();
+        // The compiled program is loop-compressed; count in the unrolled
+        // expansion, which denotes the same step sequence.
+        let unrolled = prog.unroll();
+        let trees = unrolled
+            .steps()
+            .iter()
+            .filter(|s| matches!(s, Step::PairwiseReduceTree { .. }))
+            .count();
         // 2 trees (softmax sum + output) × 16 layers × 2 steps.
         assert_eq!(trees, 2 * 16 * 2);
+        // And the compressed form is far smaller than the expansion.
+        assert!(prog.len() < unrolled.len());
     }
 
     #[test]
@@ -475,7 +523,7 @@ mod tests {
         w.batch = 1;
         w.seq_len = 4;
         let prog = compile(&w, 1);
-        assert!(!prog.steps.iter().any(|s| matches!(s, Step::RingBroadcast { .. })));
+        assert!(!prog.steps().iter().any(|s| matches!(s, Step::RingBroadcast { .. })));
     }
 
     #[test]
@@ -508,7 +556,8 @@ mod tests {
         // The busiest bank's attention lanes grow linearly under LastBank,
         // so the summed per-bank exponent work (critical path) inflates.
         let sum_attn = |p: &Program| -> u64 {
-            p.steps
+            p.unroll()
+                .steps()
                 .iter()
                 .filter_map(|s| match s {
                     Step::Exp { elems_per_bank, .. } => Some(*elems_per_bank),
@@ -525,7 +574,7 @@ mod tests {
         w.decode_len = 0;
         let prog = compile(&w, 2048);
         let fc_scopes =
-            prog.steps.iter().filter(|s| matches!(s, Step::Scope(l) if l == "enc.fc")).count();
+            prog.steps().iter().filter(|s| matches!(s, Step::Scope(l) if l == "enc.fc")).count();
         assert_eq!(fc_scopes, 24, "prefill passes through all 24 GPT-2 blocks");
     }
 }

@@ -185,6 +185,30 @@ pub struct Engine {
     latency_scale: f64,
     tracks_named: bool,
     named_resources: HashSet<u32>,
+    quiet: bool,
+}
+
+/// One recorded pricing action from a repeat body's first iteration: the
+/// exact statistics updates `Engine::run` applied, minus the step walk
+/// that produced them. Replaying the log repeats the identical f64
+/// operation sequence, so replayed statistics are byte-identical to
+/// re-pricing the body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LumpAction {
+    /// A `set_scope` call.
+    Scope(String),
+    /// A lump phase. `latency_ns` is pre-`latency_scale`; replay rescales
+    /// exactly as `run` does.
+    Lump {
+        /// Phase category.
+        category: Category,
+        /// Unscaled latency contribution.
+        latency_ns: f64,
+        /// Energy contribution.
+        energy_pj: f64,
+        /// Bytes-moved contribution.
+        bytes: f64,
+    },
 }
 
 impl Default for Engine {
@@ -204,6 +228,7 @@ impl Engine {
             latency_scale: 1.0,
             tracks_named: false,
             named_resources: HashSet::new(),
+            quiet: false,
         }
     }
 
@@ -221,6 +246,20 @@ impl Engine {
     /// The attached sink handle (the null handle when tracing is off).
     pub fn sink(&self) -> &SinkHandle {
         &self.sink
+    }
+
+    /// Suppress (or re-enable) span/counter emission while keeping the
+    /// statistics accounting bit-for-bit unchanged. Used by the executor's
+    /// repeat collapsing: iterations 1..N of a repeat run quietly and are
+    /// represented by one summary span.
+    pub fn set_quiet(&mut self, quiet: bool) {
+        self.quiet = quiet;
+    }
+
+    /// Whether phases currently emit observability events: a sink is
+    /// attached and quiet mode is off.
+    pub fn emitting(&self) -> bool {
+        self.sink.is_enabled() && !self.quiet
     }
 
     /// Current simulated time: nanoseconds elapsed since the engine
@@ -258,7 +297,7 @@ impl Engine {
     /// Run one phase; returns its makespan in nanoseconds.
     pub fn run(&mut self, phase: Phase) -> f64 {
         let start_ns = self.stats.latency_ns;
-        let emit = self.sink.is_enabled();
+        let emit = self.emitting();
         if emit && !self.tracks_named {
             self.name_category_tracks();
         }
@@ -360,6 +399,31 @@ impl Engine {
         }
         self.sink.track_name(tracks::RING, "ring hops");
         self.tracks_named = true;
+    }
+
+    /// Re-apply a recorded lump-action log `times` times.
+    ///
+    /// This is the compressed-pricing fast path: the executor prices a
+    /// zero-delta repeat body once through [`Engine::run`] while logging
+    /// each lump, then replays the log for the remaining iterations. The
+    /// replay performs the same f64 additions in the same order as `run`
+    /// would, so the resulting [`SimStats`]/[`ScopedStats`] are
+    /// byte-identical to walking the unrolled steps. Stats-only: callers
+    /// must not replay while emission is on (spans would be lost).
+    pub fn replay_lumps(&mut self, actions: &[LumpAction], times: u64) {
+        debug_assert!(!self.emitting(), "replay_lumps is stats-only; emit by re-running the body");
+        for _ in 0..times {
+            for action in actions {
+                match action {
+                    LumpAction::Scope(s) => self.set_scope(s),
+                    LumpAction::Lump { category, latency_ns, energy_pj, bytes } => {
+                        let latency = latency_ns * self.latency_scale;
+                        self.stats.record(*category, latency, *energy_pj, *bytes);
+                        self.scoped.record(&self.scope, *category, latency, *energy_pj, *bytes);
+                    }
+                }
+            }
+        }
     }
 
     /// Global statistics accumulated so far.
@@ -519,6 +583,60 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.ph == "X" && e.tid >= tracks::RESOURCE_BASE && e.name == "op1"));
+    }
+
+    #[test]
+    fn replayed_lumps_match_rerun_lumps_exactly() {
+        // The compressed-pricing contract: replaying a recorded log N
+        // times is byte-identical to running the same lumps N times.
+        let log = vec![
+            LumpAction::Scope("dec.fc".to_string()),
+            LumpAction::Lump {
+                category: Category::Arithmetic,
+                latency_ns: 5.3,
+                energy_pj: 1.7,
+                bytes: 0.0,
+            },
+            LumpAction::Scope("dec.attn".to_string()),
+            LumpAction::Lump {
+                category: Category::DataMovement,
+                latency_ns: 3.9,
+                energy_pj: 2.2,
+                bytes: 17.0,
+            },
+        ];
+        let run_once = |e: &mut Engine| {
+            e.set_scope("dec.fc");
+            e.run(Phase::lump(Category::Arithmetic, 5.3, 1.7, 0.0));
+            e.set_scope("dec.attn");
+            e.run(Phase::lump(Category::DataMovement, 3.9, 2.2, 17.0));
+        };
+        let mut replayed = Engine::new();
+        replayed.set_latency_scale(1.25);
+        let mut rerun = replayed.clone();
+        run_once(&mut replayed);
+        replayed.replay_lumps(&log, 6);
+        for _ in 0..7 {
+            run_once(&mut rerun);
+        }
+        assert_eq!(replayed.stats(), rerun.stats());
+        assert_eq!(replayed.scoped(), rerun.scoped());
+    }
+
+    #[test]
+    fn quiet_mode_suppresses_emission_but_not_stats() {
+        let chrome = ChromeTraceSink::shared();
+        let mut e = Engine::with_sink(SinkHandle::from_shared(chrome.clone()));
+        e.set_scope("fc");
+        e.run(Phase::lump(Category::Arithmetic, 5.0, 1.0, 0.0));
+        e.set_quiet(true);
+        assert!(!e.emitting());
+        e.run(Phase::lump(Category::Arithmetic, 5.0, 1.0, 0.0));
+        e.set_quiet(false);
+        e.run(Phase::lump(Category::Arithmetic, 5.0, 1.0, 0.0));
+        assert_eq!(e.stats().latency_ns, 15.0);
+        let spans = chrome.borrow().sorted_events().iter().filter(|e| e.ph == "X").count();
+        assert_eq!(spans, 2, "quiet phase emits no span");
     }
 
     #[test]

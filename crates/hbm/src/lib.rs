@@ -43,7 +43,7 @@ pub mod timing;
 
 pub use config::HbmConfig;
 pub use energy::EnergyParams;
-pub use engine::{Engine, Phase, PhaseOp};
+pub use engine::{Engine, LumpAction, Phase, PhaseOp};
 pub use geometry::{BankCoord, BankId, HbmGeometry};
 pub use resource::{ResourceId, ResourceMap};
 pub use stats::{Category, SimStats};

@@ -186,6 +186,10 @@ impl ScopedStats {
     }
 
     /// Record a phase under `scope`.
+    ///
+    /// Allocation-free when the scope has been seen before — the hot path
+    /// for decode loops, which record millions of lumps across a handful
+    /// of scope labels.
     pub fn record(
         &mut self,
         scope: &str,
@@ -194,10 +198,16 @@ impl ScopedStats {
         energy_pj: f64,
         bytes: f64,
     ) {
-        self.scopes
-            .entry(scope.to_owned())
-            .or_default()
-            .record(category, latency_ns, energy_pj, bytes);
+        self.entry_mut(scope).record(category, latency_ns, energy_pj, bytes);
+    }
+
+    /// The (created-if-absent) statistics entry for `scope`, cloning the
+    /// label only on first sight.
+    pub fn entry_mut(&mut self, scope: &str) -> &mut SimStats {
+        if !self.scopes.contains_key(scope) {
+            self.scopes.insert(scope.to_owned(), SimStats::default());
+        }
+        self.scopes.get_mut(scope).expect("entry just ensured")
     }
 
     /// Statistics for one scope, if any phases were recorded under it.

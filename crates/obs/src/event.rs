@@ -104,6 +104,13 @@ impl SpanEvent {
         self.args.push((key.into(), value.into()));
         self
     }
+
+    /// Mark this span as summarizing `count` collapsed repetitions (repeat
+    /// collapsing keeps traces bounded for long decode loops; the count
+    /// lets viewers and post-processors recover the multiplicity).
+    pub fn with_count(self, count: u64) -> Self {
+        self.with_arg("count", count)
+    }
 }
 
 /// A point-in-time marker on a track.
@@ -177,6 +184,12 @@ mod tests {
         assert_eq!(s.args.len(), 2);
         assert_eq!(s.args[0].1, ArgValue::Num(10.0));
         assert_eq!(s.args[1].1, ArgValue::Str("a".into()));
+    }
+
+    #[test]
+    fn with_count_attaches_count_arg() {
+        let s = SpanEvent::new("repeat x7", "repeat", TrackId(16), 0.0, 5.0).with_count(7);
+        assert_eq!(s.args, vec![("count".to_owned(), ArgValue::Num(7.0))]);
     }
 
     #[test]

@@ -221,18 +221,34 @@ impl KvCache {
 
     /// Append one (or more) new K/V rows.
     ///
+    /// Amortized O(rows appended): rows land in the existing backing
+    /// storage via [`Matrix::push_rows`], so a full decode of `T` tokens
+    /// costs O(T) row-copies rather than the O(T²) of rebuilding the
+    /// cache per token.
+    ///
     /// # Panics
     ///
     /// Panics if the widths of `k_new`/`v_new` disagree with the cache.
     pub fn append(&mut self, k_new: Matrix, v_new: Matrix) {
-        self.k = Some(match self.k.take() {
-            Some(k) => Matrix::vcat(&[k, k_new]),
-            None => k_new,
-        });
-        self.v = Some(match self.v.take() {
-            Some(v) => Matrix::vcat(&[v, v_new]),
-            None => v_new,
-        });
+        match &mut self.k {
+            Some(k) => k.push_rows(&k_new),
+            None => self.k = Some(k_new),
+        }
+        match &mut self.v {
+            Some(v) => v.push_rows(&v_new),
+            None => self.v = Some(v_new),
+        }
+    }
+
+    /// Pre-reserve room for `tokens` more cached positions, making
+    /// subsequent appends allocation-free up to that horizon.
+    pub fn reserve(&mut self, tokens: usize) {
+        if let Some(k) = &mut self.k {
+            k.reserve_rows(tokens);
+        }
+        if let Some(v) = &mut self.v {
+            v.reserve_rows(tokens);
+        }
     }
 
     /// The cached keys.
@@ -483,6 +499,28 @@ mod tests {
         }
         let stepwise = Matrix::vcat(&rows);
         assert!(batch.max_abs_diff(&stepwise) < 1e-4);
+    }
+
+    #[test]
+    fn kv_cache_append_matches_vcat_rebuild() {
+        // The amortized in-place append must leave the cache bitwise
+        // identical to rebuilding it by concatenation each token.
+        let chunks: Vec<(Matrix, Matrix)> = (0..6)
+            .map(|t| {
+                let gen = |r: usize, c: usize| ((t * 13 + r * 5 + c) as f32 * 0.31).cos();
+                (Matrix::from_fn(1, 4, gen), Matrix::from_fn(1, 4, |r, c| gen(r, c) + 1.0))
+            })
+            .collect();
+        let mut cache = KvCache::new();
+        cache.reserve(6);
+        for (k, v) in &chunks {
+            cache.append(k.clone(), v.clone());
+        }
+        let ks: Vec<Matrix> = chunks.iter().map(|(k, _)| k.clone()).collect();
+        let vs: Vec<Matrix> = chunks.iter().map(|(_, v)| v.clone()).collect();
+        assert_eq!(cache.k().as_slice(), Matrix::vcat(&ks).as_slice());
+        assert_eq!(cache.v().as_slice(), Matrix::vcat(&vs).as_slice());
+        assert_eq!(cache.len(), 6);
     }
 
     #[test]

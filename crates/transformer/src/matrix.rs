@@ -167,6 +167,34 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Append `other`'s rows in place.
+    ///
+    /// Amortized O(rows of `other`): the backing vector grows
+    /// geometrically, so repeated appends (a decoder's per-token K/V
+    /// cache growth) cost O(total rows) overall instead of the O(total²)
+    /// of rebuilding through [`Matrix::vcat`]. The result is bitwise
+    /// identical to `Matrix::vcat(&[self, other])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ (a 0×0 `self` adopts `other`'s
+    /// column count).
+    pub fn push_rows(&mut self, other: &Matrix) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = other.cols;
+        }
+        assert_eq!(self.cols, other.cols, "column mismatch in push_rows");
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
+    }
+
+    /// Pre-reserve capacity for `additional` more rows (a decoder that
+    /// knows its decode length can make every subsequent
+    /// [`Matrix::push_rows`] allocation-free).
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.cols);
+    }
+
     /// Horizontal concatenation.
     ///
     /// # Panics
@@ -486,6 +514,34 @@ mod tests {
         assert_eq!(inner_empty, Matrix::zeros(2, 3));
         let skinny = Matrix::zeros(3, 4).matmul_transb(&Matrix::zeros(0, 4));
         assert_eq!(skinny.shape(), (3, 0));
+    }
+
+    #[test]
+    fn push_rows_matches_vcat_bitwise() {
+        // The in-place grow path must be indistinguishable from rebuild-
+        // by-vcat, including starting from the 0-row shard shapes the
+        // KV caches use.
+        let chunks: Vec<Matrix> = (0..5)
+            .map(|i| Matrix::from_fn(i % 3 + 1, 4, |r, c| (i * 100 + r * 10 + c) as f32 * 0.25))
+            .collect();
+        let mut grown = Matrix::zeros(0, 4);
+        grown.reserve_rows(16);
+        for ch in &chunks {
+            grown.push_rows(ch);
+        }
+        assert_eq!(grown, Matrix::vcat(&chunks));
+        assert_eq!(grown.as_slice(), Matrix::vcat(&chunks).as_slice());
+
+        let mut adopt = Matrix::zeros(0, 0);
+        adopt.push_rows(&chunks[0]);
+        assert_eq!(adopt, chunks[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn push_rows_rejects_width_mismatch() {
+        let mut m = Matrix::zeros(0, 3);
+        m.push_rows(&Matrix::zeros(2, 4));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::arch::ArchConfig;
 use crate::exec::Executor;
 use crate::report::{DataflowKind, SimReport};
+use transpim_dataflow::ir::Program;
 use transpim_dataflow::{layer_flow, token_flow};
 use transpim_obs::{ChromeTraceSink, ObsError, SinkHandle};
 use transpim_transformer::workload::Workload;
@@ -36,6 +37,20 @@ impl Accelerator {
     /// The architecture.
     pub fn arch(&self) -> &ArchConfig {
         &self.arch
+    }
+
+    /// Compile `workload` under `dataflow` into a dataflow program for this
+    /// architecture's bank count — without pricing it. The returned program
+    /// is loop-compressed: decode iterations arrive as
+    /// [`transpim_dataflow::ir::Step::Repeat`] steps, so its step count is
+    /// O(layers), not O(decode_len × layers). Use
+    /// [`transpim_dataflow::ir::Program::unroll`] for the explicit sequence.
+    pub fn compile(&self, workload: &Workload, dataflow: DataflowKind) -> Program {
+        let banks = self.arch.hbm.geometry.total_banks();
+        match dataflow {
+            DataflowKind::Token => token_flow::compile(workload, banks),
+            DataflowKind::Layer => layer_flow::compile(workload, banks),
+        }
     }
 
     /// Compile `workload` under `dataflow` and simulate it.
@@ -81,11 +96,7 @@ impl Accelerator {
             exec.prices_arch(&self.arch),
             "executor architecture does not match accelerator architecture"
         );
-        let banks = self.arch.hbm.geometry.total_banks();
-        let program = match dataflow {
-            DataflowKind::Token => token_flow::compile(workload, banks),
-            DataflowKind::Layer => layer_flow::compile(workload, banks),
-        };
+        let program = self.compile(workload, dataflow);
         let (stats, scoped) = exec.run_with_sink(&program, sink);
         SimReport {
             system: self.arch.system_label(dataflow.label()),
@@ -164,6 +175,30 @@ mod tests {
             &w,
             DataflowKind::Token,
             transpim_obs::SinkHandle::null(),
+        );
+    }
+
+    #[test]
+    fn compiled_decode_programs_scale_with_layers_not_decode_len() {
+        // The GPT decode loop compiles to `Repeat` steps: the program's
+        // step count is a function of the model depth, not of how many
+        // tokens get generated.
+        let acc = Accelerator::new(ArchConfig::new(ArchKind::TransPim));
+        let mut w = Workload::lm();
+        w.decode_len = 128;
+        let short = acc.compile(&w, DataflowKind::Token);
+        w.decode_len = 4096;
+        let long = acc.compile(&w, DataflowKind::Token);
+        assert!(long.unrolled_len() > 16 * short.unrolled_len());
+        assert!(
+            long.len() <= short.len() + 8,
+            "step count must not grow with decode_len ({} vs {})",
+            long.len(),
+            short.len()
+        );
+        assert!(
+            (long.len() as u64) * 1000 < long.unrolled_len(),
+            "expected ≥1000× compression at decode_len=4096"
         );
     }
 

@@ -28,8 +28,8 @@ use transpim_acu::ring::{
     self, emit_hop_events, one_to_all_broadcast, pairwise_reduce_hops, schedule_hops,
     schedule_hops_placed, Hop, HopPlacement, ScheduleResult, TransferCostModel,
 };
-use transpim_dataflow::ir::{BankRange, Program, Step};
-use transpim_hbm::engine::{tracks, Engine, Phase};
+use transpim_dataflow::ir::{BankRange, Program, Step, StepDelta};
+use transpim_hbm::engine::{tracks, Engine, LumpAction, Phase};
 use transpim_hbm::geometry::BankId;
 use transpim_hbm::resource::ResourceMap;
 use transpim_hbm::stats::{Category, ScopedStats, SimStats};
@@ -67,6 +67,12 @@ pub struct Executor {
     /// traced run's cost, so later occurrences collapse to a summary span.
     ring_detail_emitted: HashSet<(u32, u32)>,
     tree_detail_emitted: HashSet<(u32, u32)>,
+    /// When tracing, collapse iterations 1..N of a [`Step::Repeat`] into a
+    /// single summary span instead of emitting every iteration's phases —
+    /// keeps trace size O(compiled steps) for long decode loops. Off by
+    /// default so traced compressed runs stay byte-identical to traced
+    /// unrolled runs.
+    collapse_repeats: bool,
 }
 
 impl Executor {
@@ -129,12 +135,20 @@ impl Executor {
             tree_hop_cache: HashMap::new(),
             ring_detail_emitted: HashSet::new(),
             tree_detail_emitted: HashSet::new(),
+            collapse_repeats: false,
         }
     }
 
     /// The architecture being priced.
     pub fn arch(&self) -> &ArchConfig {
         &self.arch
+    }
+
+    /// Collapse traced repeat iterations 1..N into one summary span (see
+    /// the `collapse_repeats` field). Statistics are unaffected; only
+    /// span/counter emission changes.
+    pub fn set_collapse_repeats(&mut self, collapse: bool) {
+        self.collapse_repeats = collapse;
     }
 
     /// Run a program, returning global and per-scope statistics. Phase
@@ -161,7 +175,38 @@ impl Executor {
     }
 
     fn run_on(&mut self, program: &Program, engine: &mut Engine) {
-        let steps = &program.steps;
+        self.run_segment(program.steps(), engine, &mut None);
+    }
+
+    /// Record a lump into the replay log (when recording) and run it.
+    /// Every lump the executor prices flows through here so a recorded
+    /// repeat body replays the exact phase stream.
+    fn lump_out(engine: &mut Engine, log: &mut Option<&mut Vec<LumpAction>>, phase: Phase) {
+        if let Some(log) = log.as_deref_mut() {
+            if let Phase::Lump { category, latency_ns, energy_pj, bytes } = &phase {
+                log.push(LumpAction::Lump {
+                    category: *category,
+                    latency_ns: *latency_ns,
+                    energy_pj: *energy_pj,
+                    bytes: *bytes,
+                });
+            }
+        }
+        engine.run(phase);
+    }
+
+    /// Price a step slice — a whole program or one repeat-body iteration.
+    /// The pipelined-ring fusion window applies within the slice (compiled
+    /// repeat bodies begin with a scope and end with a memory touch, so
+    /// fusion never wants to cross an iteration boundary). When `log` is
+    /// set, every priced lump and scope change is recorded for
+    /// [`Engine::replay_lumps`].
+    fn run_segment(
+        &mut self,
+        steps: &[Step],
+        engine: &mut Engine,
+        log: &mut Option<&mut Vec<LumpAction>>,
+    ) {
         let mut i = 0;
         while i < steps.len() {
             // Pipelined ring: a ring broadcast immediately followed by the
@@ -184,7 +229,7 @@ impl Executor {
                         *total_elems,
                     );
                     let visible_ring = (ring_lat - mul_lat).max(0.0);
-                    if engine.sink().is_enabled() {
+                    if engine.emitting() {
                         // Per-hop detail is meaningless here — rounds overlap
                         // the multiply — so mark the fused pair instead.
                         engine.sink().instant(
@@ -201,18 +246,26 @@ impl Executor {
                             .with_arg("repeat", *repeat),
                         );
                     }
-                    engine.run(Phase::lump(
-                        Category::DataMovement,
-                        visible_ring,
-                        ring.energy_pj * *repeat as f64 * f64::from(*parallel),
-                        ring.bytes * *repeat as f64 * f64::from(*parallel),
-                    ));
-                    engine.run(Phase::lump(Category::Arithmetic, mul_lat, mul_pj, 0.0));
+                    Self::lump_out(
+                        engine,
+                        log,
+                        Phase::lump(
+                            Category::DataMovement,
+                            visible_ring,
+                            ring.energy_pj * *repeat as f64 * f64::from(*parallel),
+                            ring.bytes * *repeat as f64 * f64::from(*parallel),
+                        ),
+                    );
+                    Self::lump_out(
+                        engine,
+                        log,
+                        Phase::lump(Category::Arithmetic, mul_lat, mul_pj, 0.0),
+                    );
                     i += 2;
                     continue;
                 }
             }
-            self.price(&steps[i], engine);
+            self.price(&steps[i], engine, log);
             i += 1;
         }
     }
@@ -233,32 +286,41 @@ impl Executor {
         Ok((stats, scoped, trace))
     }
 
-    fn price(&mut self, step: &Step, engine: &mut Engine) {
+    fn price(&mut self, step: &Step, engine: &mut Engine, log: &mut Option<&mut Vec<LumpAction>>) {
         match *step {
-            Step::Scope(ref label) => engine.set_scope(label),
+            Step::Scope(ref label) => {
+                if let Some(log) = log.as_deref_mut() {
+                    log.push(LumpAction::Scope(label.to_string()));
+                }
+                engine.set_scope(label);
+            }
+
+            Step::Repeat { count, ref body, ref delta } => {
+                self.price_repeat(count, body, delta, engine, log);
+            }
 
             Step::PointwiseMul { elems_per_bank, total_elems, a_bits, b_bits } => {
                 let (lat, pj) =
                     self.pointwise(PimOp::Mul { a_bits, b_bits }, elems_per_bank, total_elems);
-                engine.run(Phase::lump(Category::Arithmetic, lat, pj, 0.0));
+                Self::lump_out(engine, log, Phase::lump(Category::Arithmetic, lat, pj, 0.0));
             }
             Step::PointwiseAdd { elems_per_bank, total_elems, bits } => {
                 let (lat, pj) = self.pointwise(PimOp::Add { bits }, elems_per_bank, total_elems);
-                engine.run(Phase::lump(Category::Arithmetic, lat, pj, 0.0));
+                Self::lump_out(engine, log, Phase::lump(Category::Arithmetic, lat, pj, 0.0));
             }
             Step::Exp { elems_per_bank, total_elems, bits, order } => {
                 let (lat, pj) =
                     self.pointwise(PimOp::ExpTaylor { bits, order }, elems_per_bank, total_elems);
-                engine.run(Phase::lump(Category::Arithmetic, lat, pj, 0.0));
+                Self::lump_out(engine, log, Phase::lump(Category::Arithmetic, lat, pj, 0.0));
             }
 
             Step::Reduce { vec_len, bits, vectors_per_bank, total_vectors } => {
                 let (lat, pj) = self.reduce(vec_len, bits, vectors_per_bank, total_vectors);
-                engine.run(Phase::lump(Category::Reduction, lat, pj, 0.0));
+                Self::lump_out(engine, log, Phase::lump(Category::Reduction, lat, pj, 0.0));
             }
             Step::Recip { per_bank, total } => {
                 let (lat, pj) = self.recip(per_bank, total);
-                engine.run(Phase::lump(Category::Reduction, lat, pj, 0.0));
+                Self::lump_out(engine, log, Phase::lump(Category::Reduction, lat, pj, 0.0));
             }
 
             Step::Replicate { value_bits, copies, count_per_bank, total_count } => {
@@ -272,38 +334,50 @@ impl Executor {
                 let lat = per_ns * count_per_bank as f64;
                 let pj = per_pj * total_count as f64;
                 let bytes = total_count as f64 * f64::from(copies) * f64::from(value_bits) / 8.0;
-                engine.run(Phase::lump(Category::DataMovement, lat, pj, bytes));
+                Self::lump_out(engine, log, Phase::lump(Category::DataMovement, lat, pj, bytes));
             }
 
             Step::HostBroadcast { bytes, banks } => {
                 let (lat, pj) = self.host_broadcast(bytes, banks);
-                engine.run(Phase::lump(
-                    Category::DataMovement,
-                    lat,
-                    pj,
-                    bytes as f64 * f64::from(banks.max(1)),
-                ));
+                Self::lump_out(
+                    engine,
+                    log,
+                    Phase::lump(
+                        Category::DataMovement,
+                        lat,
+                        pj,
+                        bytes as f64 * f64::from(banks.max(1)),
+                    ),
+                );
             }
             Step::HostScatter { total_bytes } => {
                 let (lat, pj) = self.host_scatter(total_bytes);
-                engine.run(Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64));
+                Self::lump_out(
+                    engine,
+                    log,
+                    Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64),
+                );
             }
 
             Step::RingBroadcast { banks, bytes_per_hop, repeat, parallel } => {
                 let r = self.ring_step(banks, bytes_per_hop);
-                if engine.sink().is_enabled() {
+                if engine.emitting() {
                     self.emit_ring_hops(engine, banks, bytes_per_hop, repeat, &r);
                 }
-                engine.run(Phase::lump(
-                    Category::DataMovement,
-                    r.latency_ns * repeat as f64,
-                    r.energy_pj * repeat as f64 * f64::from(parallel),
-                    r.bytes * repeat as f64 * f64::from(parallel),
-                ));
+                Self::lump_out(
+                    engine,
+                    log,
+                    Phase::lump(
+                        Category::DataMovement,
+                        r.latency_ns * repeat as f64,
+                        r.energy_pj * repeat as f64 * f64::from(parallel),
+                        r.bytes * repeat as f64 * f64::from(parallel),
+                    ),
+                );
             }
             Step::OneToAll { src, banks, bytes, parallel } => {
                 let r = self.one_to_all(src, banks, bytes);
-                if engine.sink().is_enabled() {
+                if engine.emitting() {
                     engine.sink().instant(
                         InstantEvent::new("one-to-all", "ring", tracks::RING, engine.now_ns())
                             .with_arg("src_bank", u64::from(src))
@@ -312,43 +386,59 @@ impl Executor {
                             .with_arg("slots", u64::from(r.slots)),
                     );
                 }
-                engine.run(Phase::lump(
-                    Category::DataMovement,
-                    r.latency_ns,
-                    r.energy_pj * f64::from(parallel),
-                    r.bytes * f64::from(parallel),
-                ));
+                Self::lump_out(
+                    engine,
+                    log,
+                    Phase::lump(
+                        Category::DataMovement,
+                        r.latency_ns,
+                        r.energy_pj * f64::from(parallel),
+                        r.bytes * f64::from(parallel),
+                    ),
+                );
             }
             Step::PairwiseReduceTree { banks, bytes, bits, elems, parallel } => {
                 let r = self.reduce_tree_moves(banks, bytes);
-                if engine.sink().is_enabled() {
+                if engine.emitting() {
                     self.emit_tree_hops(engine, banks, bytes, r.latency_ns);
                 }
-                engine.run(Phase::lump(
-                    Category::DataMovement,
-                    r.latency_ns,
-                    r.energy_pj * f64::from(parallel),
-                    r.bytes * f64::from(parallel),
-                ));
+                Self::lump_out(
+                    engine,
+                    log,
+                    Phase::lump(
+                        Category::DataMovement,
+                        r.latency_ns,
+                        r.energy_pj * f64::from(parallel),
+                        r.bytes * f64::from(parallel),
+                    ),
+                );
                 // One in-bank add per tree level.
                 let levels = 32 - banks.count.max(1).leading_zeros() as u64;
                 let (lat, pj) = self.pointwise(PimOp::Add { bits }, elems, elems * levels);
-                engine.run(Phase::lump(
-                    Category::Reduction,
-                    lat * levels as f64,
-                    pj * f64::from(parallel),
-                    0.0,
-                ));
+                Self::lump_out(
+                    engine,
+                    log,
+                    Phase::lump(
+                        Category::Reduction,
+                        lat * levels as f64,
+                        pj * f64::from(parallel),
+                        0.0,
+                    ),
+                );
             }
 
             Step::BroadcastDup { bytes, banks } => {
                 let (lat, pj) = self.broadcast_dup(bytes, banks);
-                engine.run(Phase::lump(
-                    Category::DataMovement,
-                    lat,
-                    pj,
-                    bytes as f64 * f64::from(banks.max(1)),
-                ));
+                Self::lump_out(
+                    engine,
+                    log,
+                    Phase::lump(
+                        Category::DataMovement,
+                        lat,
+                        pj,
+                        bytes as f64 * f64::from(banks.max(1)),
+                    ),
+                );
             }
             Step::IntraBankCopy { bytes_per_bank, total_bytes } => {
                 let (lat, pj) = match &self.buffer {
@@ -361,16 +451,119 @@ impl Executor {
                         self.rowclone.buffered_copy_energy_pj(total_bytes),
                     ),
                 };
-                engine.run(Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64));
+                Self::lump_out(
+                    engine,
+                    log,
+                    Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64),
+                );
             }
             Step::ShuffleAll { total_bytes } => {
                 let (lat, pj) = self.shuffle_all(total_bytes);
-                engine.run(Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64));
+                Self::lump_out(
+                    engine,
+                    log,
+                    Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64),
+                );
             }
 
             Step::MemTouch { bytes_per_bank, total_bytes } => {
                 let (lat, pj) = self.mem_touch(bytes_per_bank, total_bytes);
-                engine.run(Phase::lump(Category::Other, lat, pj, total_bytes as f64));
+                Self::lump_out(
+                    engine,
+                    log,
+                    Phase::lump(Category::Other, lat, pj, total_bytes as f64),
+                );
+            }
+        }
+    }
+
+    /// Price `count` iterations of a repeat body.
+    ///
+    /// Three strategies, all denoting exactly the unrolled pricing:
+    ///
+    /// * **replay** (zero deltas, nothing to emit, not already recording):
+    ///   price iteration 0 once while recording its lump stream, then
+    ///   [`Engine::replay_lumps`] the remaining `count - 1` iterations —
+    ///   the same f64 operations in the same order, so byte-identical
+    ///   statistics at O(body) step-walk cost;
+    /// * **in-place advance** (non-zero deltas, or emission is on): walk a
+    ///   scratch copy of the body per iteration, advancing its varying
+    ///   fields by the deltas — cache-hot, no per-step allocation;
+    /// * **collapsed emission** (tracing with [`Executor::set_collapse_repeats`]):
+    ///   iteration 0 emits normally, iterations 1..N run quiet and are
+    ///   represented by one summary span carrying the collapsed count.
+    ///
+    /// Debug builds verify the replay against an actual re-pricing and the
+    /// final scratch body against [`Step::at`].
+    fn price_repeat(
+        &mut self,
+        count: u64,
+        body: &[Step],
+        delta: &[StepDelta],
+        engine: &mut Engine,
+        log: &mut Option<&mut Vec<LumpAction>>,
+    ) {
+        if count == 0 || body.is_empty() {
+            return;
+        }
+        let zero_delta = delta.iter().all(StepDelta::is_zero);
+        if zero_delta && !engine.emitting() && log.is_none() {
+            let mut recorded = Vec::new();
+            self.run_segment(body, engine, &mut Some(&mut recorded));
+            #[cfg(debug_assertions)]
+            let mut check = engine.clone();
+            engine.replay_lumps(&recorded, count - 1);
+            #[cfg(debug_assertions)]
+            {
+                for _ in 1..count {
+                    self.run_segment(body, &mut check, &mut None);
+                }
+                debug_assert_eq!(check.stats(), engine.stats(), "replayed repeat stats diverged");
+                debug_assert_eq!(
+                    check.scoped(),
+                    engine.scoped(),
+                    "replayed repeat scopes diverged"
+                );
+            }
+            return;
+        }
+
+        let collapse = self.collapse_repeats && count > 1 && engine.emitting() && log.is_none();
+        let mut scratch = body.to_vec();
+        let mut summary_start = 0.0;
+        for i in 0..count {
+            if i > 0 {
+                for (s, d) in scratch.iter_mut().zip(delta) {
+                    s.advance(d);
+                }
+            }
+            if collapse && i == 1 {
+                summary_start = engine.now_ns();
+                engine.set_quiet(true);
+            }
+            self.run_segment(&scratch, engine, log);
+        }
+        if collapse {
+            engine.set_quiet(false);
+            engine.sink().span(
+                SpanEvent::new(
+                    format!("repeat x{}", count - 1),
+                    "repeat",
+                    tracks::RING,
+                    summary_start,
+                    engine.now_ns() - summary_start,
+                )
+                .with_count(count - 1),
+            );
+        }
+        #[cfg(debug_assertions)]
+        if count > 1 {
+            for (j, s) in scratch.iter().enumerate() {
+                debug_assert_eq!(
+                    *s,
+                    body[j].at(&delta[j], count - 1),
+                    "in-place advance diverged from Step::at"
+                );
             }
         }
     }
@@ -961,5 +1154,104 @@ mod tests {
         assert_eq!(hop_count, 15, "per-hop detail must not repeat per occurrence");
         assert_eq!(events.iter().filter(|e| e.name == "ring").count(), 2);
         assert_eq!(events.iter().filter(|e| e.name == "reduce-tree").count(), 2);
+    }
+
+    fn decode_workload() -> Workload {
+        let mut w = Workload::pubmed();
+        w.model.encoder_layers = 1;
+        w.model.decoder_layers = 2;
+        w.decode_len = 12;
+        w.seq_len = 128;
+        w
+    }
+
+    #[test]
+    fn compressed_pricing_matches_unrolled_bitwise() {
+        // The compiled decode loop arrives as `Step::Repeat`; pricing it
+        // must be indistinguishable — bit for bit, scoped and total — from
+        // pricing the unrolled step sequence, on every architecture and
+        // both dataflows.
+        let w = decode_workload();
+        for kind in ArchKind::ALL {
+            let arch = ArchConfig::new(kind);
+            let banks = arch.hbm.geometry.total_banks();
+            for token in [true, false] {
+                let prog = if token {
+                    token_flow::compile(&w, banks)
+                } else {
+                    layer_flow::compile(&w, banks)
+                };
+                let unrolled = prog.unroll();
+                assert_eq!(prog.unrolled_len(), unrolled.len() as u64);
+                if token {
+                    assert!(prog.len() < unrolled.len(), "{kind}: decode loop should compress");
+                }
+                let (a, sa) = Executor::new(arch.clone()).run(&prog);
+                let (b, sb) = Executor::new(arch.clone()).run(&unrolled);
+                assert_eq!(a, b, "{kind}: compressed stats must equal unrolled stats");
+                assert_eq!(sa, sb, "{kind}: scoped stats must agree too");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_compressed_matches_traced_unrolled() {
+        // With collapsing off (the default), tracing a compressed program
+        // walks every iteration and must produce a byte-identical trace
+        // document.
+        let w = decode_workload();
+        let arch = ArchConfig::new(ArchKind::TransPim);
+        let banks = arch.hbm.geometry.total_banks();
+        let prog = token_flow::compile(&w, banks);
+        let unrolled = prog.unroll();
+        let (s1, sc1, t1) = Executor::new(arch.clone()).run_traced(&prog).unwrap();
+        let (s2, sc2, t2) = Executor::new(arch).run_traced(&unrolled).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(sc1, sc2);
+        assert_eq!(t1, t2, "default tracing must not observe the compression");
+    }
+
+    #[test]
+    fn collapse_repeats_bounds_trace_without_touching_stats() {
+        let body = vec![
+            Step::scope("dec.attn"),
+            Step::RingBroadcast {
+                banks: BankRange { start: 0, count: 8 },
+                bytes_per_hop: 256,
+                repeat: 2,
+                parallel: 1,
+            },
+            Step::MemTouch { bytes_per_bank: 64, total_bytes: 512 },
+        ];
+        // Affine growth of the hop payload, as KV rings grow per token.
+        let delta = vec![
+            StepDelta::none(),
+            StepDelta { d: [16, 0, 0], len: 2 },
+            StepDelta { d: [0, 0, 0], len: 2 },
+        ];
+        let mut prog = transpim_dataflow::ir::Program::new();
+        prog.push(Step::repeat(40, body, delta));
+
+        let run = |collapse: bool| {
+            let mut ex = Executor::new(ArchConfig::new(ArchKind::TransPim));
+            ex.set_collapse_repeats(collapse);
+            let chrome = ChromeTraceSink::shared();
+            let stats = ex.run_with_sink(&prog, SinkHandle::from_shared(chrome.clone()));
+            let events = chrome.borrow().sorted_events();
+            (stats, events)
+        };
+        let (full_stats, full_events) = run(false);
+        let (col_stats, col_events) = run(true);
+        assert_eq!(full_stats, col_stats, "collapsing is a tracing concern only");
+        assert!(
+            col_events.iter().any(|e| e.name == "repeat x39"),
+            "summary span should carry the collapsed count"
+        );
+        assert!(
+            col_events.len() * 4 < full_events.len(),
+            "collapsed trace ({}) should be far smaller than full ({})",
+            col_events.len(),
+            full_events.len()
+        );
     }
 }

@@ -82,6 +82,20 @@ impl SimReport {
         }
     }
 
+    /// Decode throughput in generated tokens per second, given how many
+    /// tokens this run generated (`decode_len × batch`).
+    ///
+    /// Taken as a parameter rather than stored: report documents must
+    /// depend only on the priced statistics, never on how the program was
+    /// compiled (compressed and unrolled compilations of one workload
+    /// serialize to byte-identical reports).
+    pub fn decode_tokens_per_s(&self, decode_tokens: u64) -> f64 {
+        if self.stats.latency_ns <= 0.0 {
+            return 0.0;
+        }
+        decode_tokens as f64 * 1e9 / self.stats.latency_ns
+    }
+
     /// Average power in watts.
     pub fn average_power_w(&self) -> f64 {
         self.stats.average_power_w()
@@ -159,6 +173,8 @@ mod tests {
         assert!((r.throughput_gops() - 2000.0).abs() < 1e-9);
         assert!((r.gop_per_joule() - 4.0 / 0.003).abs() < 1e-6);
         assert!((r.utilization() - 0.5).abs() < 1e-12);
+        // 2 ms for 128 generated tokens → 64k tokens/s.
+        assert!((r.decode_tokens_per_s(128) - 64_000.0).abs() < 1e-9);
     }
 
     #[test]

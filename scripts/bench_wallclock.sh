@@ -70,3 +70,11 @@ cat > results/BENCH_sweep.json <<EOF
 }
 EOF
 echo "==> speedup ${speedup}x — written to results/BENCH_sweep.json"
+
+# Decoder fast path: compressed (Step::Repeat) vs unrolled compile+price
+# wall clock at decode_len in {256, 1024, 4096}. The binary verifies the
+# two encodings price bitwise-identically and writes
+# results/BENCH_decode.json itself.
+echo "==> decode scaling (compressed vs unrolled)"
+cargo build --offline --release -p transpim-bench --bin decode_scaling >/dev/null
+target/release/decode_scaling

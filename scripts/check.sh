@@ -47,4 +47,9 @@ cargo test --offline --workspace -q
 echo "==> parallel determinism (jobs=1 vs jobs=N byte-identical)"
 cargo test --offline -q --test parallel_determinism
 
+# Same rationale: the loop-compressed decode path must price, report, and
+# trace byte-identically to unrolled programs, and fail loudly by name.
+echo "==> repeat equivalence (compressed vs unrolled byte-identical)"
+cargo test --offline -q --test repeat_equivalence
+
 echo "All checks passed."

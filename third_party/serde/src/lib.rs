@@ -293,6 +293,20 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
     }
 }
 
+impl<T: Serialize + ToOwned + ?Sized> Serialize for std::borrow::Cow<'_, T> {
+    fn to_plain(&self) -> Plain {
+        (**self).to_plain()
+    }
+}
+impl<'de, 'a, T: ToOwned + ?Sized> Deserialize<'de> for std::borrow::Cow<'a, T>
+where
+    T::Owned: Deserialize<'de>,
+{
+    fn from_plain(plain: &Plain) -> Result<Self, DeError> {
+        T::Owned::from_plain(plain).map(std::borrow::Cow::Owned)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_plain(&self) -> Plain {
         match self {
