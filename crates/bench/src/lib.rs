@@ -11,6 +11,7 @@
 //! [`note`]; set `TRANSPIM_BENCH_QUIET=1` to silence them in scripts.
 
 pub mod chart;
+pub mod fuzz;
 
 use std::cell::RefCell;
 use std::path::Path;

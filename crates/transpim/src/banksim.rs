@@ -34,6 +34,8 @@ const ACT_FRAC: u32 = 8;
 const SM_FRAC: u32 = 12;
 /// Width of the Softmax format.
 const SM_BITS: u32 = 16;
+/// Horner rounds of the Figure 8(b) Taylor exponent.
+const TAYLOR_ORDER: u32 = 5;
 
 /// Result of a bit-accurate attention-row execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,11 +49,15 @@ pub struct BankSimResult {
 }
 
 /// Quantize `[0,1)`-ranged reals to unsigned fixed point with `frac` bits.
+/// Rounding saturates at the largest representable code (values above
+/// `1 - 2^-(frac+1)` would otherwise round up to `2^frac`, which needs one
+/// more bit-plane than the datapath carries).
 fn quantize(xs: &[f32], frac: u32) -> Vec<u64> {
+    let max_code = (1u64 << frac) - 1;
     xs.iter()
         .map(|&x| {
             assert!((0.0..1.0).contains(&x), "bank sim takes values in [0,1), got {x}");
-            (f64::from(x) * (1u64 << frac) as f64).round() as u64
+            ((f64::from(x) * (1u64 << frac) as f64).round() as u64).min(max_code)
         })
         .collect()
 }
@@ -118,7 +124,7 @@ pub fn attention_row(q: &[f32], keys: &[Vec<f32>], values: &[Vec<f32>]) -> BankS
 
     // (b) Softmax: PIM Taylor exponent on the score lanes…
     let score_planes = BitPlanes::from_values(&scores_q, SM_BITS);
-    let exps = exp_taylor_planes(&mut alu, &score_planes, 5);
+    let exps = exp_taylor_planes(&mut alu, &score_planes, TAYLOR_ORDER);
     // …adder-tree row sum and divider reciprocal…
     let sum_q12 = tree_reduce(&exps.to_values()) as i64; // Q4.12
     let recip_q = recip_q16(sum_q12 << 4); // Q16.16 in, Q16.16 out
@@ -162,6 +168,41 @@ pub fn attention_row_reference(q: &[f32], keys: &[Vec<f32>], values: &[Vec<f32>]
 /// must track each other).
 pub fn trace_of(result: &BankSimResult) -> AapTrace {
     AapTrace { aaps: result.aaps }
+}
+
+/// Analytic AAP count of [`attention_row`] over `n` keys of width `d`,
+/// composed from the ALU closed forms ([`transpim_pim::alu::add_aaps`],
+/// [`transpim_pim::alu::mul_aaps`]) mirroring the exact command sequence:
+/// `n` Q0.8×Q0.8 score multiplies, `TAYLOR_ORDER` Horner rounds of two
+/// Q4.12 multiplies plus one add, one probability multiply, and `d` Q4.12 ×
+/// Q0.8 weighted-value multiplies. Adder-tree reductions and the divider
+/// reciprocal run in the ACU, not the array, so they issue no AAPs.
+///
+/// The differential fuzz harness pins `attention_row`'s traced count to
+/// this prediction for every shape — the bit-accurate datapath and the
+/// analytic cost model must never drift apart.
+pub fn predicted_aaps(n: usize, d: usize) -> u64 {
+    use transpim_pim::alu::{add_aaps, mul_aaps};
+    let scores = n as u64 * mul_aaps(ACT_FRAC, ACT_FRAC);
+    let taylor = u64::from(TAYLOR_ORDER) * (2 * mul_aaps(SM_BITS, SM_BITS) + add_aaps(SM_BITS));
+    let probs = mul_aaps(SM_BITS, SM_BITS);
+    let weighted = d as u64 * mul_aaps(SM_BITS, ACT_FRAC);
+    scores + taylor + probs + weighted
+}
+
+/// Documented fixed-point error budget of [`attention_row`] against
+/// [`attention_row_reference`], per output element, for `n` attended keys.
+///
+/// The dominant terms: the reciprocal is truncated to Q4.12, which costs up
+/// to `2⁻¹² · sum ≈ n·e·2⁻¹²` of relative probability error; each of the
+/// `n` probabilities is floor-truncated to Q4.12 after the normalization
+/// multiply (up to `n·2⁻¹²` absolute across a row); activations quantize to
+/// Q0.8 (±2⁻⁹); and the order-5 Taylor exponent is short by at most
+/// `e/6! ≈ 0.0038` relative at the top of its `[0,1)` argument range. A
+/// constant floor plus a per-key linear term covers all of them with
+/// ~2× headroom.
+pub fn tolerance(n: usize) -> f32 {
+    0.02 + n as f32 * 1.2e-3
 }
 
 #[cfg(test)]

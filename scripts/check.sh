@@ -52,4 +52,44 @@ cargo test --offline -q --test parallel_determinism
 echo "==> repeat equivalence (compressed vs unrolled byte-identical)"
 cargo test --offline -q --test repeat_equivalence
 
+# Property suites, by name and under a pinned seed, with a case-count
+# audit. The vendored proptest engine appends "<test>\t<cases>" for every
+# proptest! property to $TRANSPIM_PROPTEST_SUMMARY; if any property
+# executed zero cases — e.g. the engine regressed to the old
+# body-swallowing stub — the gate fails. TRANSPIM_PROPTEST_CASES can
+# raise the per-property case count for deeper local soaks.
+echo "==> property suites (fixed seed, zero-case audit)"
+summary=target/proptest-summary.txt
+rm -f "$summary"
+TRANSPIM_PROPTEST_SEED="${TRANSPIM_PROPTEST_SEED:-20220402}" \
+TRANSPIM_PROPTEST_SUMMARY="$summary" \
+  cargo test --offline -q \
+    --test scheduler_properties \
+    --test differential_fuzz \
+    --test proptest_engine \
+    --test serde_roundtrips
+if [[ ! -s "$summary" ]]; then
+  echo "error: no proptest case-count summary was written — the property" >&2
+  echo "engine is not executing generated cases." >&2
+  exit 1
+fi
+awk -F'\t' '
+  $2 + 0 == 0 { print "error: property ran zero cases: " $1; bad = 1 }
+  END { exit bad }
+' "$summary" >&2
+for required in \
+  scheduler_properties::ring_step_respects_group_serialization_floor \
+  differential_fuzz::banksim_attention_matches_f32_within_tolerance \
+  differential_fuzz::repeat_compression_is_an_exact_encoding \
+  differential_fuzz::token_and_layer_flow_encoders_agree \
+  differential_fuzz::grid_pricing_is_job_count_invariant \
+  serde_roundtrips::random_programs_roundtrip_and_keep_wire_shape
+do
+  if ! grep -q "^${required}$(printf '\t')" "$summary"; then
+    echo "error: required property did not run: $required" >&2
+    exit 1
+  fi
+done
+echo "    $(wc -l < "$summary") properties, case counts audited ($summary)"
+
 echo "All checks passed."

@@ -1,0 +1,291 @@
+//! Differential fuzz harness: randomized cross-checks between independent
+//! implementations of the same semantics.
+//!
+//! Four comparisons, each over ≥128 generated cases (fixed seeds in CI via
+//! `TRANSPIM_PROPTEST_SEED` in `scripts/check.sh`):
+//!
+//! 1. **banksim vs f32** — the bit-accurate Figure 8 datapath must agree
+//!    with plain f32 attention within the documented fixed-point tolerance
+//!    on random shapes and inputs, and its traced AAP count must equal the
+//!    analytic closed-form prediction exactly.
+//! 2. **Repeat compression vs unrolled** — `RepeatCompressor` output must
+//!    unroll to exactly the step stream that was fed in, and the program's
+//!    O(1) push-time totals must equal the totals recomputed from the
+//!    unrolled stream (pinning the closed-form Σi/Σi² accounting).
+//! 3. **Token flow vs layer flow** — the two functional dataflow
+//!    implementations reorganize the same math and must agree to within
+//!    a few f32 ulps (shard boundaries reorder one reduction).
+//! 4. **Executor pricing jobs=1 vs jobs=N** — the job pool must render
+//!    byte-identical reports (and observability documents) at any width.
+
+use proptest::prelude::*;
+use transpim::banksim::{attention_row, attention_row_reference, predicted_aaps, tolerance};
+use transpim::report::DataflowKind;
+use transpim_bench::fuzz::{affine_step, arch_for, delta_for, small_workload, AFFINE_STEP_KINDS};
+use transpim_bench::{run_grid, GridCell};
+use transpim_dataflow::functional::encoder_layer_sharded;
+use transpim_dataflow::ir::{Program, RepeatCompressor, Step};
+use transpim_dataflow::layer_functional::encoder_layer_layerflow;
+use transpim_transformer::matrix::Matrix;
+use transpim_transformer::model::{ModelConfig, ModelWeights};
+use transpim_transformer::softmax::SoftmaxKind;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// (1) banksim vs f32 reference + analytic AAP count
+// ---------------------------------------------------------------------------
+
+fn random_unit_rows(rng: &mut StdRng, rows: usize, cols: usize) -> Vec<Vec<f32>> {
+    (0..rows).map(|_| (0..cols).map(|_| rng.gen_range(0.0f32..1.0)).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn banksim_attention_matches_f32_within_tolerance(
+        n in 1usize..64,
+        d in 1usize..64,
+        seed in 0u64..(1u64 << 32),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_unit_rows(&mut rng, 1, d).remove(0);
+        let keys = random_unit_rows(&mut rng, n, d);
+        let values = random_unit_rows(&mut rng, n, d);
+
+        let hw = attention_row(&q, &keys, &values);
+        let reference = attention_row_reference(&q, &keys, &values);
+        let tol = tolerance(n);
+        for (dim, (&h, &r)) in hw.output.iter().zip(&reference).enumerate() {
+            prop_assert!(
+                (h - r).abs() <= tol,
+                "n={n} d={d} dim {dim}: hw {h} vs ref {r} exceeds tolerance {tol}"
+            );
+        }
+
+        // The functional run and the analytic cost model must agree on the
+        // exact in-array command count for every shape.
+        prop_assert_eq!(hw.aaps, predicted_aaps(n, d), "AAP count drifted for n={}, d={}", n, d);
+
+        // Sanity on the probability row: a (fixed-point) distribution.
+        let psum: f32 = hw.probs.iter().sum();
+        prop_assert!((psum - 1.0).abs() <= tol, "n={n}: prob sum {psum}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (2) RepeatCompressor: unroll equivalence + closed-form totals
+// ---------------------------------------------------------------------------
+
+/// One generated step spec: variant selector, varying sizes, structural
+/// fields, and per-iteration delta material.
+type StepSpec = (u8, u64, u64, u64, u32, u32, u64, u64, u64);
+
+fn step_spec() -> impl Strategy<Value = StepSpec> {
+    (
+        any::<u8>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+}
+
+fn spec_step(spec: &StepSpec) -> (Step, transpim_dataflow::ir::StepDelta) {
+    let (kind, s0, s1, s2, w0, w1, d0, d1, d2) = *spec;
+    let step = affine_step(kind, [s0, s1, s2], [w0, w1]);
+    let delta = delta_for(&step, [d0, d1, d2]);
+    (step, delta)
+}
+
+fn totals(p: &Program) -> (u64, u64, u64) {
+    (p.host_bytes(), p.internal_movement_bytes(), p.total_mul_elems())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn repeat_compression_is_an_exact_encoding(
+        segments in proptest::collection::vec(
+            (proptest::collection::vec(step_spec(), 1..4), 1u64..12),
+            1..4,
+        ),
+    ) {
+        // Feed per-iteration blocks (block i = base advanced i times) and
+        // interleave segments; every segment boundary exercises a flush.
+        let mut comp = RepeatCompressor::new();
+        let mut prog = Program::new();
+        let mut expected = Program::new();
+        for (specs, count) in &segments {
+            let parts: Vec<_> = specs.iter().map(spec_step).collect();
+            for i in 0..*count {
+                let mut block: Vec<Step> =
+                    parts.iter().map(|(step, delta)| step.at(delta, i)).collect();
+                for s in &block {
+                    expected.push(s.clone());
+                }
+                comp.push_block(&mut prog, &mut block);
+            }
+        }
+        comp.flush(&mut prog);
+
+        // The compressed program denotes exactly the input stream…
+        let unrolled = prog.unroll();
+        prop_assert_eq!(unrolled.steps(), expected.steps());
+        prop_assert_eq!(prog.unrolled_len(), expected.len() as u64);
+        // …and its push-time totals equal the totals recomputed from the
+        // unrolled stream (closed-form Σi/Σi² vs plain per-step sums).
+        prop_assert_eq!(totals(&prog), totals(&expected));
+        prop_assert_eq!(totals(&prog), totals(&unrolled));
+    }
+
+    #[test]
+    fn repeat_push_block_times_matches_explicit_blocks(
+        specs in proptest::collection::vec(step_spec(), 1..4),
+        times in 1u64..200,
+        kind in 0u8..AFFINE_STEP_KINDS,
+    ) {
+        let parts: Vec<_> = specs.iter().map(spec_step).collect();
+        let block: Vec<Step> = parts.iter().map(|(step, _)| step.clone()).collect();
+
+        // Pre-counted identical blocks…
+        let mut comp = RepeatCompressor::new();
+        let mut prog = Program::new();
+        comp.push_block_times(&mut prog, &mut block.clone(), times);
+        // …then a non-foldable tail step to force heterogeneous flushing.
+        let tail = affine_step(kind, [7, 7, 7], [kind as u32, 3]);
+        comp.push_block(&mut prog, &mut vec![tail.clone()]);
+        comp.flush(&mut prog);
+
+        let mut expected = Program::new();
+        for _ in 0..times {
+            for s in &block {
+                expected.push(s.clone());
+            }
+        }
+        expected.push(tail);
+
+        let unrolled = prog.unroll();
+        prop_assert_eq!(unrolled.steps(), expected.steps());
+        prop_assert_eq!(totals(&prog), totals(&expected));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (3) Token flow vs layer flow functional numerics
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn token_and_layer_flow_encoders_agree(
+        enc_layers in 1usize..3,
+        heads in 1usize..4,
+        dh in 1usize..5,
+        d_ff in 1usize..9,
+        seq in 1usize..10,
+        banks_token in 1usize..7,
+        banks_layer in 1usize..7,
+        seed in 0u64..10_000,
+    ) {
+        let d = heads * dh;
+        let cfg = ModelConfig {
+            name: "fuzz-enc".into(),
+            encoder_layers: enc_layers,
+            decoder_layers: 0,
+            d_model: d,
+            heads,
+            d_ff,
+            cross_attention: false,
+        };
+        let weights = ModelWeights::random(&cfg, seed);
+        let input = Matrix::from_fn(seq, d, |r, c| {
+            (((r * 131 + c * 17 + seed as usize) % 97) as f32 / 97.0 - 0.5) * 1.2
+        });
+
+        for kind in [SoftmaxKind::Exact, SoftmaxKind::HardwareTaylor] {
+            let mut token = input.clone();
+            let mut layer = input.clone();
+            for w in &weights.encoder {
+                token = encoder_layer_sharded(&token, w, heads, kind, banks_token);
+                layer = encoder_layer_layerflow(&layer, w, heads, kind, banks_layer);
+            }
+            // Same per-row math, but the shard boundaries reorder the
+            // Σ_j probs·V accumulation over the sequence dimension, so
+            // different bank counts drift by a few f32 ulps (observed
+            // ~6e-8 per layer on unit-scale values). 1e-5 gives ~100×
+            // headroom while still catching any real math divergence.
+            let diff = token.max_abs_diff(&layer);
+            prop_assert!(
+                diff <= 1e-5,
+                "token flow ({banks_token} banks) vs layer flow ({banks_layer} banks) \
+                 diverged by {diff} ({kind:?})"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (4) Executor pricing: jobs=1 vs jobs=N
+// ---------------------------------------------------------------------------
+
+/// (arch, enc, dec, heads, dh, seq, decode, batch); d_ff is derived.
+type CellSpec = (u8, usize, usize, usize, usize, usize, usize, usize);
+
+fn spec_cells(specs: &[CellSpec]) -> Vec<GridCell> {
+    let mut cells = Vec::new();
+    for &(arch, enc, dec, heads, dh, seq, decode, batch) in specs {
+        let w = small_workload(enc, dec, heads, dh, 4 * heads * dh, seq, decode, batch);
+        for df in DataflowKind::ALL {
+            cells.push(GridCell::custom(arch_for(arch), df, &w));
+        }
+    }
+    cells
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn grid_pricing_is_job_count_invariant(
+        specs in proptest::collection::vec(
+            (0u8..4, 1usize..3, 0usize..3, 1usize..4, 1usize..4, 1usize..9, 0usize..5, 1usize..3),
+            1..4,
+        ),
+        jobs in 2usize..9,
+        want_obs in any::<bool>(),
+    ) {
+        let serial = run_grid(1, want_obs, want_obs, spec_cells(&specs));
+        let pooled = run_grid(jobs, want_obs, want_obs, spec_cells(&specs));
+        prop_assert_eq!(serial.len(), pooled.len());
+        for (i, (s, p)) in serial.iter().zip(&pooled).enumerate() {
+            prop_assert_eq!(
+                s.report.to_json().expect("serialize report"),
+                p.report.to_json().expect("serialize report"),
+                "cell {}: report diverged between jobs=1 and jobs={}", i, jobs
+            );
+            if want_obs {
+                let (sm, pm) = (s.metrics.as_ref().unwrap(), p.metrics.as_ref().unwrap());
+                prop_assert_eq!(
+                    sm.to_json_string().expect("metrics"),
+                    pm.to_json_string().expect("metrics"),
+                    "cell {}: metrics diverged", i
+                );
+                let (st, pt) = (s.trace.as_ref().unwrap(), p.trace.as_ref().unwrap());
+                prop_assert_eq!(
+                    st.to_json_string().expect("trace"),
+                    pt.to_json_string().expect("trace"),
+                    "cell {}: trace diverged", i
+                );
+            }
+        }
+    }
+}

@@ -3,13 +3,8 @@
 //! routes must be well-formed for every bank pair.
 
 use proptest::prelude::*;
-// `ring_step_hops`/`Hop`/`BankId` are only referenced inside `proptest!`
-// bodies, which the offline stand-in for proptest swallows (see
-// third_party/proptest).
-#[allow(unused_imports)]
 use transpim_acu::ring::{ring_step_hops, schedule_hops, Hop, TransferCostModel};
 use transpim_hbm::energy::EnergyParams;
-#[allow(unused_imports)]
 use transpim_hbm::geometry::{BankId, HbmGeometry};
 use transpim_hbm::resource::{BusParams, ResourceMap};
 

@@ -2,9 +2,12 @@
 //! workloads, programs, and reports must survive JSON (the CLI's
 //! `--json`/`--dump-ir`/`file:` interfaces depend on it).
 
+use proptest::prelude::*;
 use transpim::arch::{ArchConfig, ArchKind};
 use transpim::report::DataflowKind;
 use transpim::Accelerator;
+use transpim_bench::fuzz::{affine_step, arch_for, delta_for, small_workload, AFFINE_STEP_KINDS};
+use transpim_dataflow::ir::{Program, Step, StepDelta};
 use transpim_dataflow::token_flow;
 use transpim_hbm::config::HbmConfig;
 use transpim_transformer::model::ModelConfig;
@@ -66,6 +69,97 @@ fn reports_roundtrip_with_scoped_stats() {
     let (a, b) = (back.scoped.get("enc.fc").unwrap(), r.scoped.get("enc.fc").unwrap());
     assert!((a.latency_ns - b.latency_ns).abs() < 1e-6 * b.latency_ns);
     assert!((a.total_energy_pj() - b.total_energy_pj()).abs() < 1e-6 * b.total_energy_pj());
+}
+
+/// A step spec tuple for the property below: (kind, size, size, structural,
+/// structural, delta).
+type SpecTuple = (u8, u64, u64, u32, u32, u64);
+
+fn spec_strategy() -> impl Strategy<Value = SpecTuple> {
+    (0u8..AFFINE_STEP_KINDS, any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>(), any::<u64>())
+}
+
+fn steps_with_deltas(specs: &[SpecTuple]) -> (Vec<Step>, Vec<StepDelta>) {
+    let mut body = Vec::new();
+    let mut delta = Vec::new();
+    for &(kind, s0, s1, w0, w1, d0) in specs {
+        let step = affine_step(kind, [s0, s1, s0 ^ s1], [w0, w1]);
+        delta.push(delta_for(&step, [d0, d0 / 3, d0 / 7]));
+        body.push(step);
+    }
+    (body, delta)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random programs — flat steps, a `Step::Repeat`, and a *nested*
+    /// repeat — survive JSON byte-for-byte, keep their push-time totals,
+    /// and keep the documented `{"steps":[...]}` wire shape.
+    #[test]
+    fn random_programs_roundtrip_and_keep_wire_shape(
+        flat in proptest::collection::vec(spec_strategy(), 0..6),
+        rep_body in proptest::collection::vec(spec_strategy(), 1..4),
+        inner_body in proptest::collection::vec(spec_strategy(), 1..3),
+        rep_count in 1u64..20,
+        inner_count in 1u64..20,
+    ) {
+        let mut prog = Program::new();
+        for s in steps_with_deltas(&flat).0 {
+            prog.push(s);
+        }
+        let (body, delta) = steps_with_deltas(&rep_body);
+        prog.push(Step::repeat(rep_count, body, delta));
+        // Nested: an outer repeat whose body contains an inner repeat (the
+        // outer delta for a Repeat element is the empty shape).
+        let (inner, inner_delta) = steps_with_deltas(&inner_body);
+        let nested = Step::repeat(inner_count, inner, inner_delta);
+        prog.push(Step::repeat(rep_count, vec![nested], vec![StepDelta::none()]));
+
+        let json = serde_json::to_string(&prog).expect("serialize");
+        let back: Program = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back, &prog);
+        // Deserialization recomputes the push-time totals; they must match
+        // the originals (which the repeat closed forms produced).
+        prop_assert_eq!(back.host_bytes(), prog.host_bytes());
+        prop_assert_eq!(back.internal_movement_bytes(), prog.internal_movement_bytes());
+        prop_assert_eq!(back.total_mul_elems(), prog.total_mul_elems());
+        prop_assert_eq!(back.unrolled_len(), prog.unrolled_len());
+
+        // Wire shape: a single-key object {"steps": [...]} with one entry
+        // per top-level step — the contract `--dump-ir` consumers parse.
+        let value: serde_json::Value = serde_json::from_str(&json).expect("parse");
+        let obj = value.as_object().expect("program must serialize as an object");
+        prop_assert_eq!(obj.len(), 1, "unexpected extra top-level keys");
+        let steps = obj.get("steps").expect("steps key").as_array().expect("steps array");
+        prop_assert_eq!(steps.len(), prog.len());
+    }
+
+    /// Random simulation reports survive JSON: the serialized text is a
+    /// fixed point (parse → re-serialize is identical), so report files
+    /// are stable artifacts.
+    #[test]
+    fn random_reports_roundtrip(
+        arch in 0u8..4,
+        enc in 1usize..3,
+        dec in 0usize..2,
+        heads in 1usize..3,
+        dh in 1usize..4,
+        seq in 1usize..8,
+        decode in 0usize..4,
+        dataflow_token in any::<bool>(),
+    ) {
+        let w = small_workload(enc, dec, heads, dh, 2 * heads * dh, seq, decode, 1);
+        let df = if dataflow_token { DataflowKind::Token } else { DataflowKind::Layer };
+        let r = Accelerator::new(arch_for(arch)).simulate(&w, df);
+
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: transpim::report::SimReport = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back.system, &r.system);
+        prop_assert_eq!(back.total_ops, r.total_ops);
+        let json2 = serde_json::to_string(&back).expect("re-serialize");
+        prop_assert_eq!(json, json2, "report JSON must be a serialization fixed point");
+    }
 }
 
 #[test]

@@ -4,9 +4,6 @@
 
 use proptest::prelude::*;
 use transpim_acu::adder_tree::{AcuParams, AcuReduceModel};
-// `pim_batch_trace` is only referenced inside a `proptest!` body, which the
-// offline stand-in for proptest swallows (see third_party/proptest).
-#[allow(unused_imports)]
 use transpim_hbm::command::{acu_reduce_trace, pim_batch_trace};
 use transpim_hbm::config::HbmConfig;
 use transpim_hbm::timing::TimingParams;

@@ -1,0 +1,139 @@
+//! `proptest::collection::vec` — random-length vectors of a sub-strategy.
+
+use crate::rng::TestRng;
+use crate::strategy::{BoxTree, Strategy, ValueTree};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive bounds on a generated collection's length. Built from a plain
+/// `usize` (exact size), `lo..hi`, or `lo..=hi` via `Into`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    pub fn new(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi, "empty size range");
+        SizeRange { lo, hi }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange::new(n, n)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange::new(r.start, r.end - 1)
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange::new(*r.start(), *r.end())
+    }
+}
+
+/// `Vec<T>` strategy: length uniform in `size`, elements drawn from
+/// `element`. Shrinks structurally first (shorter vectors), then
+/// element-wise.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub struct VecStrategy<S: Strategy> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_tree(&self, rng: &mut TestRng) -> BoxTree<Vec<S::Value>> {
+        let span = self.size.hi - self.size.lo + 1;
+        let len = self.size.lo + rng.below(span as u128) as usize;
+        let elems = (0..len).map(|_| self.element.new_tree(rng)).collect();
+        Box::new(VecTree { elems, min_len: self.size.lo })
+    }
+}
+
+/// Hard cap on candidates per shrink round: keeps one round's allocation
+/// bounded even for multi-hundred-element vectors (the greedy shrinker
+/// revisits the survivors next round anyway).
+const MAX_CANDIDATES: usize = 1024;
+
+struct VecTree<T: Clone + fmt::Debug + 'static> {
+    elems: Vec<BoxTree<T>>,
+    min_len: usize,
+}
+
+impl<T: Clone + fmt::Debug + 'static> Clone for VecTree<T> {
+    fn clone(&self) -> Self {
+        VecTree { elems: self.elems.clone(), min_len: self.min_len }
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> ValueTree for VecTree<T> {
+    type Value = Vec<T>;
+
+    fn current(&self) -> Vec<T> {
+        self.elems.iter().map(|t| t.current()).collect()
+    }
+
+    fn candidates(&self) -> Vec<BoxTree<Vec<T>>> {
+        let n = self.elems.len();
+        let mut out: Vec<BoxTree<Vec<T>>> = Vec::new();
+        let push = |elems: Vec<BoxTree<T>>, out: &mut Vec<BoxTree<Vec<T>>>| {
+            if out.len() < MAX_CANDIDATES {
+                out.push(Box::new(VecTree { elems, min_len: self.min_len }));
+            }
+        };
+
+        // Structural cuts, most aggressive first: all the way down to the
+        // minimum length, then halving, then dropping single elements (each
+        // index, so a lone culprit element can end up alone).
+        if n > self.min_len {
+            push(self.elems[..self.min_len].to_vec(), &mut out);
+            let half = self.min_len.max(n / 2);
+            if half > self.min_len && half < n {
+                push(self.elems[..half].to_vec(), &mut out);
+            }
+            for i in 0..n {
+                let mut elems = self.elems.clone();
+                elems.remove(i);
+                push(elems, &mut out);
+            }
+        }
+
+        // Element-wise shrinks: replace one slot at a time. Interleave by
+        // ladder depth (every element's most aggressive candidate before
+        // any element's second) so that under the global cap each slot
+        // still gets a fair share — and since each element's ladder ends
+        // one step from its current value, the greedy loop converges to an
+        // exact per-element minimum rather than stalling a factor of two
+        // away from the boundary.
+        let ladders: Vec<Vec<BoxTree<T>>> = self.elems.iter().map(|e| e.candidates()).collect();
+        let deepest = ladders.iter().map(Vec::len).max().unwrap_or(0);
+        'depth: for depth in 0..deepest {
+            for (i, ladder) in ladders.iter().enumerate() {
+                if let Some(cand) = ladder.get(depth) {
+                    let mut elems = self.elems.clone();
+                    elems[i] = cand.clone();
+                    push(elems, &mut out);
+                    if out.len() >= MAX_CANDIDATES {
+                        break 'depth;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn clone_box(&self) -> BoxTree<Vec<T>> {
+        Box::new(self.clone())
+    }
+}

@@ -1,39 +1,197 @@
-//! Type-check-only stand-in for proptest: the `proptest!` macro (and the
-//! assertion macros that only ever appear inside its body) swallow their
-//! tokens, so property bodies are not type-checked — the real crate is.
+//! Functional, std-only property-testing engine, API-compatible with the
+//! subset of upstream `proptest` this workspace uses.
+//!
+//! Previously this crate was a type-check-only stand-in whose `proptest!`
+//! macro swallowed its tokens; every property in the tree compiled to an
+//! empty test. It is now a real engine:
+//!
+//! - **Deterministic PRNG** ([`rng`]): xoshiro256** seeded per test name;
+//!   each case owns a 32-byte seed split off the master stream, so failures
+//!   replay from the seed alone. `TRANSPIM_PROPTEST_SEED` perturbs the
+//!   master stream, `TRANSPIM_PROPTEST_CASES` overrides every config's case
+//!   count.
+//! - **Strategies** ([`strategy`], [`collection`]): integer/float ranges,
+//!   `any::<T>()`, `Just`, tuples to arity 10, `prop_map`/`prop_filter`,
+//!   weighted unions (`prop_oneof!`), and `collection::vec`.
+//! - **Greedy shrinking**: failing inputs jump to the most aggressive
+//!   still-failing candidate (integers toward zero, vectors toward short,
+//!   element-wise after structural) until a local minimum is reached.
+//! - **Persistence** ([`runner`]): failures append
+//!   `cc <64-hex-seed> # shrinks to ...` lines to the sibling
+//!   `.proptest-regressions` file (upstream-compatible format) and persisted
+//!   seeds replay before novel cases.
+//! - **Case-count summary**: each run appends `name\tcases` to the file
+//!   named by `TRANSPIM_PROPTEST_SUMMARY`, which `scripts/check.sh` audits
+//!   so the suite can never silently regress to zero executed cases.
 
+pub mod collection;
+pub mod rng;
+pub mod runner;
+pub mod strategy;
+
+pub use runner::{TestCaseError, TestCaseResult};
+
+/// Define property tests. Each `fn name(args in strategies) { body }` item
+/// becomes a `#[test]` wrapper that runs the body against generated inputs;
+/// an optional leading `#![proptest_config(expr)]` sets the runner config
+/// for every property in the block.
 #[macro_export]
 macro_rules! proptest {
-    ($($tt:tt)*) => {};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::runner::ProptestConfig = $config;
+            $crate::runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                file!(),
+                &[$(stringify!($arg)),+],
+                &config,
+                ($($strat,)+),
+                |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::runner::ProptestConfig::default()) $($rest)*);
+    };
 }
+
+
+/// Fail the current case (recorded, shrunk, and reported) without panicking
+/// through foreign frames.
 #[macro_export]
 macro_rules! prop_assert {
-    ($($tt:tt)*) => {};
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
 }
+
+/// `prop_assert!` specialised to equality, printing both sides.
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($($tt:tt)*) => {};
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}",
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{}\n  left: {left:?}\n right: {right:?}",
+                ::std::format!($($fmt)+),
+            )));
+        }
+    }};
 }
+
+/// `prop_assert!` specialised to inequality, printing both sides.
 #[macro_export]
 macro_rules! prop_assert_ne {
-    ($($tt:tt)*) => {};
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left != right`\n  both: {left:?}",
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{}\n  both: {left:?}",
+                ::std::format!($($fmt)+),
+            )));
+        }
+    }};
 }
+
+/// Discard the current case (not a failure) when a precondition on the
+/// generated inputs doesn't hold. Discards don't count toward the case
+/// total; `ProptestConfig::max_global_rejects` bounds them.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Weighted (`weight => strategy`) or uniform choice between strategies
+/// producing the same value type.
 #[macro_export]
 macro_rules! prop_oneof {
-    ($($tt:tt)*) => {};
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
 }
+
+/// Define a function returning a composed strategy:
+/// `fn name(params)(bindings in strategies) -> Out { expr }`.
 #[macro_export]
 macro_rules! prop_compose {
-    ($($tt:tt)*) => {};
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)
+                 ($($arg:pat in $strat:expr),+ $(,)?)
+                 -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
 }
 
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest};
-
-    pub struct ProptestConfig;
-    impl ProptestConfig {
-        pub fn with_cases(_cases: u32) -> Self {
-            unimplemented!()
-        }
-    }
+    pub use crate::runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
 }

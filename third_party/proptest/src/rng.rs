@@ -1,0 +1,146 @@
+//! Deterministic, splittable random number generation for the test runner.
+//!
+//! Every generated test case is owned by one 32-byte [`Seed`]: the master
+//! RNG (seeded from the test's name plus an optional environment override)
+//! emits one seed per case, and the case's inputs are derived from a fresh
+//! [`TestRng`] built from that seed alone. A persisted seed therefore
+//! reproduces its case exactly, independent of how many cases ran before
+//! it — the property the `.proptest-regressions` replay machinery relies
+//! on.
+//!
+//! The generator is xoshiro256** (public domain, Blackman & Vigna) with a
+//! splitmix64 seeding finalizer — both are tiny, fast, std-only, and have
+//! well-studied statistical quality.
+
+/// A 32-byte case seed, hex-encoded in `.proptest-regressions` files
+/// (the upstream-proptest-compatible `cc <64 hex chars>` line format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seed(pub [u8; 32]);
+
+impl Seed {
+    /// Render as 64 lowercase hex characters.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+            s.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+        }
+        s
+    }
+
+    /// Parse 64 hex characters; `None` on any other shape.
+    pub fn from_hex(s: &str) -> Option<Seed> {
+        if s.len() != 64 || !s.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        let bytes = s.as_bytes();
+        for (i, slot) in out.iter_mut().enumerate() {
+            let hi = (bytes[2 * i] as char).to_digit(16)?;
+            let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
+            *slot = ((hi << 4) | lo) as u8;
+        }
+        Some(Seed(out))
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** — the RNG behind every strategy's `new_tree`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG for one test case, derived from its seed alone.
+    pub fn from_seed(seed: Seed) -> Self {
+        let mut words = [0u64; 4];
+        for (i, w) in words.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed.0[8 * i..8 * i + 8]);
+            *w = u64::from_le_bytes(b);
+        }
+        // Finalize through splitmix so a low-entropy seed (e.g. all zeros,
+        // which would lock xoshiro at zero forever) still yields a healthy
+        // state.
+        let mut sm = words[0] ^ words[1].rotate_left(17) ^ words[2].rotate_left(31) ^ words[3];
+        let mut s = [0u64; 4];
+        for (slot, w) in s.iter_mut().zip(words) {
+            let mut local = sm ^ w;
+            *slot = splitmix64(&mut local);
+            sm = local;
+        }
+        Self { s }
+    }
+
+    /// Master RNG for a named test: deterministic in the test's fully
+    /// qualified name, perturbed by `extra` (the `TRANSPIM_PROPTEST_SEED`
+    /// override; 0 when unset).
+    pub fn master(name: &str, extra: u64) -> Self {
+        // FNV-1a over the name keeps distinct tests on distinct streams.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut state = h ^ extra ^ 0x7472_616e_7350_494d; // "transPIM"
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+        }
+        Self::from_seed(Seed(seed))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)` by fixed-point scaling (the widening
+    /// multiply keeps the modulo bias below 2⁻⁶⁴ — irrelevant for testing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "empty sampling bound");
+        if bound <= u128::from(u64::MAX) {
+            ((u128::from(self.next_u64()) * bound) >> 64) as u128
+        } else {
+            // Bounds above 2⁶⁴ (full-range u128 never occurs here; spans of
+            // u64/i64 ranges can reach 2⁶⁴): combine two draws.
+            let hi = u128::from(self.next_u64());
+            let lo = u128::from(self.next_u64());
+            ((hi << 64) | lo) % bound
+        }
+    }
+
+    /// Uniform fraction in `[0, 1)` with 53 random mantissa bits.
+    pub fn fraction(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The next case's seed (split off the master stream).
+    pub fn gen_seed(&mut self) -> Seed {
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        Seed(seed)
+    }
+}

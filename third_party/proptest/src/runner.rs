@@ -1,0 +1,300 @@
+//! The test runner: case loop, regression replay, greedy shrinking,
+//! persistence, and the per-test case-count summary.
+
+use crate::rng::{Seed, TestRng};
+use crate::strategy::{BoxTree, Strategy, TupleFields};
+use std::fmt;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Runtime knobs for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of novel cases to generate and run (after regression replay).
+    /// Overridden globally by `TRANSPIM_PROPTEST_CASES`.
+    pub cases: u32,
+    /// Budget of candidate evaluations while shrinking a failure.
+    pub max_shrink_iters: u32,
+    /// Total `prop_assume!` rejections tolerated before the test errors out
+    /// as too sparse.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 4096, max_global_rejects: 65536 }
+    }
+}
+
+impl ProptestConfig {
+    /// `ProptestConfig::default()` with a different case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// Why a single test-case execution did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The inputs don't satisfy a `prop_assume!` precondition; the case is
+    /// discarded, not failed.
+    Reject(String),
+    /// A `prop_assert*!` failed (or the body panicked).
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(msg) => write!(f, "rejected: {msg}"),
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Result type the `proptest!` body closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+enum Outcome {
+    Pass,
+    Reject(String),
+    Fail(String),
+}
+
+fn execute<T, F>(test: &F, value: T) -> Outcome
+where
+    F: Fn(T) -> TestCaseResult,
+{
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(Ok(())) => Outcome::Pass,
+        Ok(Err(TestCaseError::Reject(msg))) => Outcome::Reject(msg),
+        Ok(Err(TestCaseError::Fail(msg))) => Outcome::Fail(msg),
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "test body panicked".to_string()
+            };
+            Outcome::Fail(msg)
+        }
+    }
+}
+
+/// `file!()` paths are relative to the directory rustc was invoked from
+/// (the workspace root under cargo), while the test process runs in the
+/// package directory; probe the cwd's ancestors for the first one the path
+/// exists under.
+fn resolve_source_path(file: &str) -> Option<PathBuf> {
+    let file = Path::new(file);
+    if file.is_absolute() {
+        return file.exists().then(|| file.to_path_buf());
+    }
+    let cwd = std::env::current_dir().ok()?;
+    cwd.ancestors().map(|dir| dir.join(file)).find(|p| p.exists())
+}
+
+fn regression_path(file: &str) -> Option<PathBuf> {
+    let src = resolve_source_path(file)?;
+    Some(src.with_extension("proptest-regressions"))
+}
+
+/// Seeds persisted by previous failing runs: `cc <64 hex chars> # ...`.
+fn persisted_seeds(path: &Path) -> Vec<Seed> {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| line.strip_prefix("cc "))
+        .filter_map(|rest| Seed::from_hex(rest.split_whitespace().next()?))
+        .collect()
+}
+
+const REGRESSION_HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+fn persist_seed(path: &Path, seed: Seed, shrunk: &str) {
+    let hex = seed.to_hex();
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    if existing.contains(&hex) {
+        return;
+    }
+    let mut doc = if existing.is_empty() { REGRESSION_HEADER.to_string() } else { existing };
+    if !doc.ends_with('\n') {
+        doc.push('\n');
+    }
+    doc.push_str(&format!("cc {hex} # shrinks to {shrunk}\n"));
+    let _ = std::fs::write(path, doc);
+}
+
+/// `name = value, ...` pairs for the persisted comment and panic message.
+fn render_fields<T: TupleFields>(arg_names: &[&str], value: &T) -> String {
+    arg_names
+        .iter()
+        .zip(value.debug_fields())
+        .map(|(name, value)| format!("{name} = {value}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn append_summary(name: &str, cases: u32) {
+    if let Ok(path) = std::env::var("TRANSPIM_PROPTEST_SUMMARY") {
+        if path.is_empty() {
+            return;
+        }
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        {
+            // One short line per write: atomic under O_APPEND, so parallel
+            // test binaries can share the file.
+            let _ = writeln!(f, "{name}\t{cases}");
+        }
+    }
+}
+
+fn env_u32(key: &str) -> Option<u32> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Greedily shrink a failing tree: repeatedly jump to the first candidate
+/// that still fails, until none does or the iteration budget is spent.
+/// Rejected candidates (failed `prop_assume!`) count as non-failing.
+fn shrink<T, F>(
+    mut tree: BoxTree<T>,
+    mut message: String,
+    test: &F,
+    max_iters: u32,
+) -> (BoxTree<T>, String)
+where
+    T: Clone + fmt::Debug + 'static,
+    F: Fn(T) -> TestCaseResult,
+{
+    let mut iters = 0u32;
+    'outer: loop {
+        for cand in tree.candidates() {
+            if iters >= max_iters {
+                break 'outer;
+            }
+            iters += 1;
+            if let Outcome::Fail(msg) = execute(test, cand.current()) {
+                tree = cand;
+                message = msg;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (tree, message)
+}
+
+/// Run one `proptest!` property: replay persisted regression seeds, then
+/// generate `config.cases` novel cases; on failure, shrink, persist the
+/// seed, and panic with the minimal counterexample.
+///
+/// Returns the number of cases executed (replays included), which is also
+/// appended to `TRANSPIM_PROPTEST_SUMMARY` when set.
+pub fn run<S, F>(
+    name: &str,
+    file: &str,
+    arg_names: &[&str],
+    config: &ProptestConfig,
+    strategy: S,
+    test: F,
+) -> u32
+where
+    S: Strategy,
+    S::Value: TupleFields,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let cases = env_u32("TRANSPIM_PROPTEST_CASES").unwrap_or(config.cases);
+    let seed_extra = env_u64("TRANSPIM_PROPTEST_SEED").unwrap_or(0);
+    let regressions = regression_path(file);
+
+    let mut executed = 0u32;
+    let mut rejects = 0u32;
+    let fail = |seed: Seed, tree: BoxTree<S::Value>, message: String, executed: u32| {
+        let (tree, message) = shrink(tree, message, &test, config.max_shrink_iters);
+        let shrunk = render_fields(arg_names, &tree.current());
+        if let Some(path) = &regressions {
+            persist_seed(path, seed, &shrunk);
+        }
+        append_summary(name, executed);
+        panic!(
+            "proptest: {name}: property failed after {executed} case(s)\n\
+             minimal failing input: {shrunk}\n\
+             error: {message}\n\
+             seed: {} (persisted to {})",
+            seed.to_hex(),
+            regressions
+                .as_deref()
+                .map_or_else(|| "<unresolved>".to_string(), |p| p.display().to_string()),
+        );
+    };
+
+    // Regression replay: persisted seeds deterministically reproduce their
+    // case under the current engine, independent of the master stream.
+    if let Some(path) = &regressions {
+        for seed in persisted_seeds(path) {
+            let mut rng = TestRng::from_seed(seed);
+            let tree = strategy.new_tree(&mut rng);
+            executed += 1;
+            match execute(&test, tree.current()) {
+                Outcome::Fail(msg) => fail(seed, tree, msg, executed),
+                Outcome::Pass | Outcome::Reject(_) => {}
+            }
+        }
+    }
+
+    // Novel cases: one seed per case split off the master stream, so any
+    // failure is reproducible from its 32-byte seed alone.
+    let mut master = TestRng::master(name, seed_extra);
+    while executed < cases {
+        let seed = master.gen_seed();
+        let mut rng = TestRng::from_seed(seed);
+        let tree = strategy.new_tree(&mut rng);
+        match execute(&test, tree.current()) {
+            Outcome::Pass => executed += 1,
+            Outcome::Reject(msg) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    // No summary line: the zero-case audit exists to catch
+                    // silently-passing properties, and this abort is loud.
+                    panic!(
+                        "proptest: {name}: too many global rejects ({rejects}); \
+                         last: {msg}"
+                    );
+                }
+            }
+            Outcome::Fail(msg) => {
+                executed += 1;
+                fail(seed, tree, msg, executed)
+            }
+        }
+    }
+
+    append_summary(name, executed);
+    eprintln!("proptest: {name}: {executed} cases, {rejects} rejects");
+    executed
+}

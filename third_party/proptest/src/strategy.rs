@@ -1,0 +1,555 @@
+//! Strategies (how to generate a random value) and value trees (a generated
+//! value plus the ways it can shrink).
+//!
+//! A [`Strategy`] produces a [`ValueTree`]; the tree's `current()` value is
+//! what the property runs against, and `candidates()` enumerates simpler
+//! trees ordered most-aggressive-first. The runner shrinks greedily: it
+//! walks the candidate list, jumps to the first candidate that still fails,
+//! and repeats until no candidate fails (or the iteration budget runs out).
+
+use crate::rng::TestRng;
+use std::fmt;
+use std::rc::Rc;
+
+/// A generated value plus its shrink candidates.
+pub trait ValueTree {
+    type Value: Clone + fmt::Debug + 'static;
+
+    /// The concrete value this tree currently denotes.
+    fn current(&self) -> Self::Value;
+
+    /// Simpler trees to try, ordered most-aggressive-first. An empty vec
+    /// means the value is fully shrunk.
+    fn candidates(&self) -> Vec<BoxTree<Self::Value>>;
+
+    /// Object-safe clone, so composite trees (tuples, vecs, maps) can swap
+    /// one slot while keeping the rest.
+    fn clone_box(&self) -> BoxTree<Self::Value>;
+}
+
+/// Boxed, type-erased value tree.
+pub type BoxTree<V> = Box<dyn ValueTree<Value = V>>;
+
+impl<V: Clone + fmt::Debug + 'static> Clone for BoxTree<V> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Something that knows how to generate values of one type.
+pub trait Strategy {
+    type Value: Clone + fmt::Debug + 'static;
+
+    /// Draw one value tree from `rng`.
+    fn new_tree(&self, rng: &mut TestRng) -> BoxTree<Self::Value>;
+
+    /// Transform generated values; shrinking happens on the source and is
+    /// re-mapped.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, O>
+    where
+        Self: Sized,
+        O: Clone + fmt::Debug + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map { source: self, f: Rc::new(f) }
+    }
+
+    /// Keep only values satisfying `pred`. Generation retries (and panics
+    /// after too many consecutive rejections — prefer `prop_assume!` for
+    /// sparse conditions); shrink candidates violating `pred` are dropped.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter { source: self, reason, pred: Rc::new(pred) }
+    }
+
+    /// Type-erase into a cheaply clonable handle (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Reference-counted type-erased strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: Clone + fmt::Debug + 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_tree(&self, rng: &mut TestRng) -> BoxTree<V> {
+        self.0.new_tree(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constants
+// ---------------------------------------------------------------------------
+
+/// Strategy that always yields the same value and never shrinks.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone + fmt::Debug + 'static>(pub V);
+
+impl<V: Clone + fmt::Debug + 'static> Strategy for Just<V> {
+    type Value = V;
+    fn new_tree(&self, _rng: &mut TestRng) -> BoxTree<V> {
+        Box::new(JustTree(self.0.clone()))
+    }
+}
+
+#[derive(Clone)]
+struct JustTree<V: Clone + fmt::Debug + 'static>(V);
+
+impl<V: Clone + fmt::Debug + 'static> ValueTree for JustTree<V> {
+    type Value = V;
+    fn current(&self) -> V {
+        self.0.clone()
+    }
+    fn candidates(&self) -> Vec<BoxTree<V>> {
+        Vec::new()
+    }
+    fn clone_box(&self) -> BoxTree<V> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integers
+// ---------------------------------------------------------------------------
+
+/// Shrink path for an integer `v` inside `[lo, hi]`: jump straight to the
+/// shrink target (0 when in range, else the bound nearest zero), then walk
+/// back toward `v` by halving the remaining distance. Most-aggressive-first.
+fn int_candidates(v: i128, lo: i128, hi: i128) -> Vec<i128> {
+    let target = if lo <= 0 && 0 <= hi {
+        0
+    } else if lo > 0 {
+        lo
+    } else {
+        hi
+    };
+    let mut out = Vec::new();
+    if v == target {
+        return out;
+    }
+    out.push(target);
+    let mut delta = v - target;
+    loop {
+        delta /= 2;
+        if delta == 0 {
+            break;
+        }
+        out.push(v - delta);
+    }
+    out
+}
+
+#[derive(Clone)]
+struct IntTree<V> {
+    value: i128,
+    lo: i128,
+    hi: i128,
+    back: fn(i128) -> V,
+}
+
+impl<V: Clone + fmt::Debug + 'static> ValueTree for IntTree<V> {
+    type Value = V;
+    fn current(&self) -> V {
+        (self.back)(self.value)
+    }
+    fn candidates(&self) -> Vec<BoxTree<V>> {
+        int_candidates(self.value, self.lo, self.hi)
+            .into_iter()
+            .map(|value| Box::new(IntTree { value, ..*self }) as BoxTree<V>)
+            .collect()
+    }
+    fn clone_box(&self) -> BoxTree<V> {
+        Box::new(self.clone())
+    }
+}
+
+fn int_tree<V: Clone + fmt::Debug + 'static>(
+    rng: &mut TestRng,
+    lo: i128,
+    hi: i128,
+    back: fn(i128) -> V,
+) -> BoxTree<V> {
+    assert!(lo <= hi, "empty integer range strategy");
+    let span = (hi - lo) as u128 + 1;
+    let value = lo + rng.below(span) as i128;
+    Box::new(IntTree { value, lo, hi, back })
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_tree(&self, rng: &mut TestRng) -> BoxTree<$t> {
+                assert!(self.start < self.end, "empty integer range strategy");
+                int_tree(rng, self.start as i128, self.end as i128 - 1, |v| v as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_tree(&self, rng: &mut TestRng) -> BoxTree<$t> {
+                int_tree(rng, *self.start() as i128, *self.end() as i128, |v| v as $t)
+            }
+        }
+    )+};
+}
+
+int_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// Floats
+// ---------------------------------------------------------------------------
+
+/// Float shrink candidates: the target (0 clamped into range), then repeated
+/// midpoints toward `v`. Candidates numerically equal to `v` are skipped so
+/// shrinking cannot loop on denormal-scale deltas.
+fn float_candidates(v: f64, lo: f64, hi: f64) -> Vec<f64> {
+    let target = lo.max(0.0).min(hi);
+    let mut out = Vec::new();
+    let mut cand = target;
+    for _ in 0..32 {
+        if cand != v && out.last() != Some(&cand) {
+            out.push(cand);
+        }
+        let mid = cand + (v - cand) / 2.0;
+        if mid == cand || mid == v {
+            break;
+        }
+        cand = mid;
+    }
+    out
+}
+
+#[derive(Clone)]
+struct FloatTree<V> {
+    value: f64,
+    lo: f64,
+    hi: f64,
+    back: fn(f64) -> V,
+}
+
+impl<V: Clone + fmt::Debug + 'static> ValueTree for FloatTree<V> {
+    type Value = V;
+    fn current(&self) -> V {
+        (self.back)(self.value)
+    }
+    fn candidates(&self) -> Vec<BoxTree<V>> {
+        float_candidates(self.value, self.lo, self.hi)
+            .into_iter()
+            .map(|value| Box::new(FloatTree { value, ..*self }) as BoxTree<V>)
+            .collect()
+    }
+    fn clone_box(&self) -> BoxTree<V> {
+        Box::new(self.clone())
+    }
+}
+
+macro_rules! float_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_tree(&self, rng: &mut TestRng) -> BoxTree<$t> {
+                let (lo, hi) = (self.start as f64, self.end as f64);
+                assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad float range strategy");
+                let value = lo + rng.fraction() * (hi - lo);
+                // `fraction()` < 1 but rounding through the arithmetic above
+                // can still land exactly on `hi`; clamp to keep the
+                // half-open contract.
+                let value = if value >= hi { lo } else { value };
+                Box::new(FloatTree { value, lo, hi, back: |v| v as $t })
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_tree(&self, rng: &mut TestRng) -> BoxTree<$t> {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad float range strategy");
+                // `fraction()` < 1, so `hi` itself is only reachable through
+                // rounding — which the inclusive contract permits.
+                let value = (lo + rng.fraction() * (hi - lo)).min(hi);
+                Box::new(FloatTree { value, lo, hi, back: |v| v as $t })
+            }
+        }
+    )+};
+}
+
+float_strategies!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Clone + fmt::Debug + Sized + 'static {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<u32>()`, `any::<bool>()`, ...).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ident),+) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                $t::MIN..=$t::MAX
+            }
+        }
+    )+};
+}
+
+arbitrary_ints!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// `any::<bool>()`: uniform coin flip; `true` shrinks to `false`.
+#[derive(Debug, Clone)]
+pub struct BoolAny;
+
+impl Arbitrary for bool {
+    type Strategy = BoolAny;
+    fn arbitrary() -> BoolAny {
+        BoolAny
+    }
+}
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn new_tree(&self, rng: &mut TestRng) -> BoxTree<bool> {
+        Box::new(BoolTree(rng.below(2) == 1))
+    }
+}
+
+#[derive(Clone)]
+struct BoolTree(bool);
+
+impl ValueTree for BoolTree {
+    type Value = bool;
+    fn current(&self) -> bool {
+        self.0
+    }
+    fn candidates(&self) -> Vec<BoxTree<bool>> {
+        if self.0 { vec![Box::new(BoolTree(false))] } else { Vec::new() }
+    }
+    fn clone_box(&self) -> BoxTree<bool> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Map / Filter
+// ---------------------------------------------------------------------------
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S: Strategy, O> {
+    source: S,
+    f: Rc<dyn Fn(S::Value) -> O>,
+}
+
+impl<S, O> Strategy for Map<S, O>
+where
+    S: Strategy,
+    O: Clone + fmt::Debug + 'static,
+{
+    type Value = O;
+    fn new_tree(&self, rng: &mut TestRng) -> BoxTree<O> {
+        Box::new(MapTree { inner: self.source.new_tree(rng), f: Rc::clone(&self.f) })
+    }
+}
+
+struct MapTree<I: Clone + fmt::Debug + 'static, O> {
+    inner: BoxTree<I>,
+    f: Rc<dyn Fn(I) -> O>,
+}
+
+impl<I: Clone + fmt::Debug + 'static, O> Clone for MapTree<I, O> {
+    fn clone(&self) -> Self {
+        MapTree { inner: self.inner.clone(), f: Rc::clone(&self.f) }
+    }
+}
+
+impl<I, O> ValueTree for MapTree<I, O>
+where
+    I: Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug + 'static,
+{
+    type Value = O;
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+    fn candidates(&self) -> Vec<BoxTree<O>> {
+        self.inner
+            .candidates()
+            .into_iter()
+            .map(|inner| Box::new(MapTree { inner, f: Rc::clone(&self.f) }) as BoxTree<O>)
+            .collect()
+    }
+    fn clone_box(&self) -> BoxTree<O> {
+        Box::new(self.clone())
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S: Strategy> {
+    source: S,
+    reason: &'static str,
+    pred: Rc<dyn Fn(&S::Value) -> bool>,
+}
+
+impl<S: Strategy> Strategy for Filter<S> {
+    type Value = S::Value;
+    fn new_tree(&self, rng: &mut TestRng) -> BoxTree<S::Value> {
+        for _ in 0..100 {
+            let tree = self.source.new_tree(rng);
+            if (self.pred)(&tree.current()) {
+                return Box::new(FilterTree { inner: tree, pred: Rc::clone(&self.pred) });
+            }
+        }
+        panic!("prop_filter({:?}): 100 consecutive generated values rejected", self.reason);
+    }
+}
+
+struct FilterTree<I: Clone + fmt::Debug + 'static> {
+    inner: BoxTree<I>,
+    pred: Rc<dyn Fn(&I) -> bool>,
+}
+
+impl<I: Clone + fmt::Debug + 'static> Clone for FilterTree<I> {
+    fn clone(&self) -> Self {
+        FilterTree { inner: self.inner.clone(), pred: Rc::clone(&self.pred) }
+    }
+}
+
+impl<I: Clone + fmt::Debug + 'static> ValueTree for FilterTree<I> {
+    type Value = I;
+    fn current(&self) -> I {
+        self.inner.current()
+    }
+    fn candidates(&self) -> Vec<BoxTree<I>> {
+        self.inner
+            .candidates()
+            .into_iter()
+            .filter(|c| (self.pred)(&c.current()))
+            .map(|inner| Box::new(FilterTree { inner, pred: Rc::clone(&self.pred) }) as BoxTree<I>)
+            .collect()
+    }
+    fn clone_box(&self) -> BoxTree<I> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Union (prop_oneof!)
+// ---------------------------------------------------------------------------
+
+/// Weighted choice between strategies yielding the same type. Shrinking
+/// stays inside the chosen arm.
+pub struct Union<V: Clone + fmt::Debug + 'static> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V: Clone + fmt::Debug + 'static> Union<V> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().any(|(w, _)| *w > 0), "prop_oneof! needs a positive weight");
+        Union { arms }
+    }
+}
+
+impl<V: Clone + fmt::Debug + 'static> Strategy for Union<V> {
+    type Value = V;
+    fn new_tree(&self, rng: &mut TestRng) -> BoxTree<V> {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(u128::from(total)) as u64;
+        for (w, strat) in &self.arms {
+            if pick < u64::from(*w) {
+                return strat.new_tree(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weighted pick out of range");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+/// Per-field `Debug` rendering, used by the runner to format shrunk
+/// counterexamples as `name = value` pairs (one per `proptest!` argument).
+pub trait TupleFields {
+    fn debug_fields(&self) -> Vec<String>;
+}
+
+macro_rules! tuple_impls {
+    ($Tree:ident: $(($T:ident, $idx:tt)),+) => {
+        impl<$($T: Strategy),+> Strategy for ($($T,)+) {
+            type Value = ($($T::Value,)+);
+            fn new_tree(&self, rng: &mut TestRng) -> BoxTree<Self::Value> {
+                Box::new($Tree { trees: ($(self.$idx.new_tree(rng),)+) })
+            }
+        }
+
+        struct $Tree<$($T: Clone + fmt::Debug + 'static),+> {
+            trees: ($(BoxTree<$T>,)+),
+        }
+
+        impl<$($T: Clone + fmt::Debug + 'static),+> Clone for $Tree<$($T),+> {
+            fn clone(&self) -> Self {
+                $Tree { trees: ($(self.trees.$idx.clone(),)+) }
+            }
+        }
+
+        impl<$($T: Clone + fmt::Debug + 'static),+> ValueTree for $Tree<$($T),+> {
+            type Value = ($($T,)+);
+            fn current(&self) -> Self::Value {
+                ($(self.trees.$idx.current(),)+)
+            }
+            fn candidates(&self) -> Vec<BoxTree<Self::Value>> {
+                let mut out: Vec<BoxTree<Self::Value>> = Vec::new();
+                $(
+                    for cand in self.trees.$idx.candidates() {
+                        let mut next = self.clone();
+                        next.trees.$idx = cand;
+                        out.push(Box::new(next));
+                    }
+                )+
+                out
+            }
+            fn clone_box(&self) -> BoxTree<Self::Value> {
+                Box::new(self.clone())
+            }
+        }
+
+        impl<$($T: fmt::Debug),+> TupleFields for ($($T,)+) {
+            fn debug_fields(&self) -> Vec<String> {
+                vec![$(format!("{:?}", self.$idx)),+]
+            }
+        }
+    };
+}
+
+tuple_impls!(Tuple1Tree: (A, 0));
+tuple_impls!(Tuple2Tree: (A, 0), (B, 1));
+tuple_impls!(Tuple3Tree: (A, 0), (B, 1), (C, 2));
+tuple_impls!(Tuple4Tree: (A, 0), (B, 1), (C, 2), (D, 3));
+tuple_impls!(Tuple5Tree: (A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+tuple_impls!(Tuple6Tree: (A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+tuple_impls!(Tuple7Tree: (A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+tuple_impls!(Tuple8Tree: (A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6), (H, 7));
+tuple_impls!(Tuple9Tree: (A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6), (H, 7), (I, 8));
+tuple_impls!(Tuple10Tree: (A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6), (H, 7), (I, 8), (J, 9));
