@@ -1,0 +1,39 @@
+//! Deterministic fault injection and graceful degradation for TransPIM.
+//!
+//! Production memory systems do not get to panic on a bit flip. This crate
+//! models the failure surface a deployed TransPIM inherits from HBM2 —
+//! failed banks, stuck bit-planes inside subarrays, degraded or dead ring
+//! links between neighboring banks, transient data-buffer flips, and broken
+//! ACU dividers — as serde-able, seeded [`scenario::FaultScenario`]s, and
+//! turns a scenario into a [`session::FaultSession`]: the mutable run-time
+//! object the executor consults while pricing a program.
+//!
+//! Degradation is priced with the paper's own mechanisms:
+//!
+//! * failed banks → token re-sharding over the surviving pool
+//!   (`dataflow::sharding`),
+//! * dead ring links → the Figure 9 fallback from the dedicated neighbor
+//!   link (3T) to the shared channel bus (8T) (`hbm::resource` routing),
+//! * stuck bit-planes → fewer usable subarrays, so in-memory arithmetic
+//!   serializes and slows down,
+//! * broken dividers → the ACU Softmax division falls back to the
+//!   in-array Newton–Raphson reciprocal of the PIM-only baseline,
+//! * transient flips → priced through the [`transpim_pim::ecc`] model:
+//!   SECDED corrects in place, parity detects and forces one bounded
+//!   retry of the transfer, and an unprotected flip surfaces as an
+//!   uncorrectable fault instead of silent corruption.
+//!
+//! Everything is deterministic: the session draws flips from a counter-based
+//! splitmix64 stream seeded by the scenario, so the same seed and scenario
+//! produce byte-identical reports regardless of job count or scheduling.
+
+#![deny(clippy::unwrap_used)]
+
+pub mod scenario;
+pub mod session;
+
+pub use scenario::{Fault, FaultError, FaultScenario};
+pub use session::{FaultSession, FaultStats, FlipOutcome, SystemInfo};
+// Scenarios name their ECC scheme; re-export it so scenario builders need
+// only this crate.
+pub use transpim_pim::ecc::EccScheme;

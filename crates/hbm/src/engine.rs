@@ -84,6 +84,11 @@ pub mod tracks {
     /// Row shared by all ring-broadcast hop events.
     pub const RING: TrackId = TrackId(16);
 
+    /// Row shared by all fault-injection events (ECC corrections, retries,
+    /// degradation markers). Named lazily on the first fault so fault-free
+    /// traces stay byte-identical.
+    pub const FAULT: TrackId = TrackId(17);
+
     /// First row of the per-resource occupancy range.
     pub const RESOURCE_BASE: u64 = 64;
 

@@ -10,6 +10,7 @@
 //! 32 k rows per bank, 1 KB rows, 512×512 subarrays, 256-bit DQ. A stack is
 //! therefore 8 GiB and the evaluated system has 8 stacks (64 GiB).
 
+use crate::config::ConfigError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -141,33 +142,92 @@ impl HbmGeometry {
         f64::from(self.subarray_cols) / f64::from(self.row_bits())
     }
 
+    /// Check the structural dimensions for simulation use.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::NonPositive`] naming the first zero dimension.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let dims = [
+            ("geometry.stacks", self.stacks),
+            ("geometry.channels_per_stack", self.channels_per_stack),
+            ("geometry.groups_per_channel", self.groups_per_channel),
+            ("geometry.banks_per_group", self.banks_per_group),
+            ("geometry.subarrays_per_bank", self.subarrays_per_bank),
+            ("geometry.rows_per_bank", self.rows_per_bank),
+            ("geometry.row_bytes", self.row_bytes),
+            ("geometry.subarray_cols", self.subarray_cols),
+            ("geometry.dq_bits", self.dq_bits),
+        ];
+        for (name, value) in dims {
+            if value == 0 {
+                return Err(ConfigError::NonPositive(name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert structured coordinates to a flat ring-ordered [`BankId`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::OutOfRange`] if any coordinate exceeds this geometry.
+    pub fn try_bank_id(&self, c: BankCoord) -> Result<BankId, ConfigError> {
+        if c.stack >= self.stacks
+            || c.channel >= self.channels_per_stack
+            || c.group >= self.groups_per_channel
+            || c.bank >= self.banks_per_group
+        {
+            return Err(ConfigError::OutOfRange(format!(
+                "bank coordinate {c:?} out of range for {self:?}"
+            )));
+        }
+        Ok(BankId(
+            ((c.stack * self.channels_per_stack + c.channel) * self.groups_per_channel + c.group)
+                * self.banks_per_group
+                + c.bank,
+        ))
+    }
+
     /// Convert structured coordinates to a flat ring-ordered [`BankId`].
     ///
     /// # Panics
     ///
-    /// Panics if any coordinate is out of range for this geometry.
+    /// Panics if any coordinate is out of range for this geometry; use
+    /// [`Self::try_bank_id`] for untrusted inputs.
     pub fn bank_id(&self, c: BankCoord) -> BankId {
-        assert!(
-            c.stack < self.stacks
-                && c.channel < self.channels_per_stack
-                && c.group < self.groups_per_channel
-                && c.bank < self.banks_per_group,
-            "bank coordinate {c:?} out of range for {self:?}"
-        );
-        BankId(
-            ((c.stack * self.channels_per_stack + c.channel) * self.groups_per_channel + c.group)
-                * self.banks_per_group
-                + c.bank,
-        )
+        match self.try_bank_id(c) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Convert a flat [`BankId`] back to structured coordinates.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::OutOfRange`] if the id exceeds this geometry.
+    pub fn try_coord(&self, id: BankId) -> Result<BankCoord, ConfigError> {
+        if id.0 >= self.total_banks() {
+            return Err(ConfigError::OutOfRange(format!("{id} out of range")));
+        }
+        Ok(self.coord_unchecked(id))
     }
 
     /// Convert a flat [`BankId`] back to structured coordinates.
     ///
     /// # Panics
     ///
-    /// Panics if the id is out of range for this geometry.
+    /// Panics if the id is out of range for this geometry; use
+    /// [`Self::try_coord`] for untrusted inputs.
     pub fn coord(&self, id: BankId) -> BankCoord {
-        assert!(id.0 < self.total_banks(), "{id} out of range");
+        match self.try_coord(id) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn coord_unchecked(&self, id: BankId) -> BankCoord {
         let bank = id.0 % self.banks_per_group;
         let rest = id.0 / self.banks_per_group;
         let group = rest % self.groups_per_channel;
@@ -253,5 +313,19 @@ mod tests {
     fn bank_id_rejects_bad_coord() {
         let g = HbmGeometry::default();
         g.bank_id(BankCoord { stack: 8, channel: 0, group: 0, bank: 0 });
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        let g = HbmGeometry::default();
+        let bad = BankCoord { stack: 8, channel: 0, group: 0, bank: 0 };
+        let err = g.try_bank_id(bad).expect_err("bad coordinate");
+        assert!(err.to_string().contains("out of range"));
+        let err = g.try_coord(BankId(g.total_banks())).expect_err("bad id");
+        assert!(err.to_string().contains("out of range"));
+        assert_eq!(g.try_coord(BankId(5)).expect("valid"), g.coord(BankId(5)));
+        assert!(g.validate().is_ok());
+        let err = HbmGeometry { banks_per_group: 0, ..g }.validate().expect_err("zero dimension");
+        assert!(err.to_string().contains("banks_per_group"));
     }
 }

@@ -41,7 +41,7 @@ pub mod resource;
 pub mod stats;
 pub mod timing;
 
-pub use config::HbmConfig;
+pub use config::{ConfigError, HbmConfig};
 pub use energy::EnergyParams;
 pub use engine::{Engine, LumpAction, Phase, PhaseOp};
 pub use geometry::{BankCoord, BankId, HbmGeometry};

@@ -66,6 +66,15 @@ impl Route {
     }
 }
 
+/// A ring link that still works, but below its nominal bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedLink {
+    /// Global bank-group index of the affected neighbor link.
+    pub group: u32,
+    /// Remaining fraction of `ring_link_gbs`, in `(0, 1]`.
+    pub factor: f64,
+}
+
 /// Maps hierarchy elements to flat [`ResourceId`]s and routes transfers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourceMap {
@@ -75,12 +84,58 @@ pub struct ResourceMap {
     /// absent, neighbor hops fall back to the shared buses (TransPIM-NB and
     /// the PIM-only / NBP baselines without the broadcast buffer).
     ring_links: bool,
+    /// Groups whose dedicated neighbor link is dead: intra-group hops in
+    /// these groups fall back to the shared buses (the paper's 8T
+    /// schedule), store-and-forward through the channel controller. Sorted.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    dead_ring_links: Vec<u32>,
+    /// Groups whose neighbor link runs below nominal bandwidth.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    degraded_ring_links: Vec<DegradedLink>,
 }
 
 impl ResourceMap {
     /// Build a resource map for `geometry` with the given bus parameters.
     pub fn new(geometry: HbmGeometry, bus: BusParams, ring_links: bool) -> Self {
-        Self { geometry, bus, ring_links }
+        Self {
+            geometry,
+            bus,
+            ring_links,
+            dead_ring_links: Vec::new(),
+            degraded_ring_links: Vec::new(),
+        }
+    }
+
+    /// The same map with ring-link faults applied: `dead` groups lose their
+    /// neighbor link entirely, `degraded` groups keep it at a fraction of
+    /// nominal bandwidth. A group listed in both is treated as dead.
+    pub fn with_ring_faults(mut self, dead: &[u32], degraded: &[(u32, f64)]) -> Self {
+        let mut dead: Vec<u32> = dead.to_vec();
+        dead.sort_unstable();
+        dead.dedup();
+        self.degraded_ring_links = degraded
+            .iter()
+            .filter(|(g, _)| dead.binary_search(g).is_err())
+            .map(|&(group, factor)| DegradedLink { group, factor })
+            .collect();
+        self.dead_ring_links = dead;
+        self
+    }
+
+    /// True when `group`'s dedicated neighbor link is dead.
+    pub fn link_dead(&self, group: u32) -> bool {
+        self.dead_ring_links.binary_search(&group).is_ok()
+    }
+
+    /// Remaining bandwidth fraction of `group`'s neighbor link (1.0 when
+    /// healthy).
+    pub fn link_factor(&self, group: u32) -> f64 {
+        self.degraded_ring_links.iter().find(|d| d.group == group).map_or(1.0, |d| d.factor)
+    }
+
+    /// Whether any ring-link fault is applied to this map.
+    pub fn has_link_faults(&self) -> bool {
+        !self.dead_ring_links.is_empty() || !self.degraded_ring_links.is_empty()
     }
 
     /// The geometry this map was built for.
@@ -179,21 +234,35 @@ impl ResourceMap {
         let dst_channel = g.channel_of(dst);
 
         let neighbors = src.0.abs_diff(dst.0) == 1;
-        if src_group == dst_group && self.ring_links && neighbors {
-            // Dedicated neighbor link inside a bank group.
+        if src_group == dst_group && self.ring_links && neighbors && !self.link_dead(src_group) {
+            // Dedicated neighbor link inside a bank group, possibly running
+            // below nominal bandwidth when degraded.
             resources.push(self.ring_link(src_group));
-            bw = bw.min(self.bus.ring_link_gbs);
+            bw = bw.min(self.bus.ring_link_gbs * self.link_factor(src_group));
             return Route { resources, bandwidth_gbs: bw };
         }
 
         if src_group == dst_group {
             resources.push(self.group_bus(src_group));
             bw = bw.min(self.bus.group_gbs);
-            if !self.ring_links {
+            if !self.ring_links || self.link_dead(src_group) {
                 // Original HBM datapath: every transfer is mediated by the
-                // single shared channel bus and controller.
+                // single shared channel bus and controller. A dead neighbor
+                // link degrades its group to this path — the Figure 9
+                // fallback from the 3T to the 8T schedule.
                 resources.push(self.channel_bus(src_channel));
-                bw = bw.min(self.bus.channel_gbs);
+                if self.ring_links {
+                    // Dead-link detour on a machine built around the
+                    // dedicated links: the payload is staged in the channel
+                    // controller and re-driven, so the group and channel
+                    // crossings serialize (store-and-forward) rather than
+                    // streaming cut-through like the native no-links
+                    // datapath below — a dead link is never free, even for
+                    // a ring confined to one bank group.
+                    bw = bw.min(1.0 / (1.0 / self.bus.group_gbs + 1.0 / self.bus.channel_gbs));
+                } else {
+                    bw = bw.min(self.bus.channel_gbs);
+                }
             }
             return Route { resources, bandwidth_gbs: bw };
         }
@@ -342,6 +411,55 @@ mod tests {
         assert!(r.resources.contains(&m.host_bus()));
         assert!(r.resources.contains(&m.stack_link(0)));
         assert!(r.resources.contains(&m.stack_link(1)));
+    }
+
+    #[test]
+    fn dead_link_falls_back_to_shared_buses() {
+        let m = map(true).with_ring_faults(&[0], &[]);
+        let r = m.route(BankId(0), BankId(1));
+        assert!(!r.resources.contains(&m.ring_link(0)));
+        assert!(r.resources.contains(&m.group_bus(0)));
+        assert!(r.resources.contains(&m.channel_bus(0)), "8T fallback rides the channel bus");
+        // Same path as the no-ring-links datapath, but store-and-forward
+        // through the controller: the two bus crossings serialize, so the
+        // detour is strictly slower than either segment alone.
+        let nb = map(false).route(BankId(0), BankId(1));
+        assert_eq!(r.resources, nb.resources);
+        assert_eq!(r.bandwidth_gbs, 1.0 / (1.0 / 32.0 + 1.0 / 32.0));
+        assert!(r.bandwidth_gbs < nb.bandwidth_gbs);
+        // Other groups keep their dedicated link.
+        let healthy_src = BankId(m.geometry().banks_per_group);
+        let r = m.route(healthy_src, BankId(healthy_src.0 + 1));
+        assert!(r.resources.contains(&m.ring_link(1)));
+        assert_eq!(r.bandwidth_gbs, 16.0);
+    }
+
+    #[test]
+    fn degraded_link_scales_bandwidth_only() {
+        let m = map(true).with_ring_faults(&[], &[(0, 0.25)]);
+        let r = m.route(BankId(0), BankId(1));
+        assert!(r.resources.contains(&m.ring_link(0)));
+        assert_eq!(r.bandwidth_gbs, 4.0);
+        assert_eq!(m.route(BankId(4), BankId(5)).bandwidth_gbs, 16.0);
+    }
+
+    #[test]
+    fn dead_supersedes_degraded_and_wire_shape_is_stable() {
+        let m = map(true).with_ring_faults(&[2, 1, 1], &[(1, 0.5), (3, 0.5)]);
+        assert!(m.link_dead(1) && m.link_dead(2));
+        assert_eq!(m.link_factor(1), 1.0, "dead link wins over degraded");
+        assert_eq!(m.link_factor(3), 0.5);
+        // A fault-free map serializes without the new fields, so existing
+        // JSON fixtures and traces stay byte-identical.
+        let clean = serde_json::to_string(&map(true)).expect("serialize");
+        assert!(!clean.contains("dead_ring_links"));
+        assert!(!clean.contains("degraded_ring_links"));
+        let faulted = serde_json::to_string(&m).expect("serialize");
+        assert!(faulted.contains("dead_ring_links"));
+        let back: ResourceMap = serde_json::from_str(&faulted).expect("roundtrip");
+        assert_eq!(back, m);
+        let back: ResourceMap = serde_json::from_str(&clean).expect("roundtrip");
+        assert!(!back.has_link_faults());
     }
 
     #[test]

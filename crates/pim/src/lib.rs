@@ -29,9 +29,11 @@
 pub mod alu;
 pub mod bitplane;
 pub mod cost;
+pub mod ecc;
 pub mod layout;
 pub mod rowclone;
 
 pub use alu::{AapTrace, PimAlu};
 pub use bitplane::BitPlanes;
 pub use cost::{PimCostModel, PimCostParams, PimOp};
+pub use ecc::EccScheme;

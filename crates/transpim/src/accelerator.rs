@@ -1,10 +1,12 @@
 //! One-call simulation of a workload × dataflow × architecture combination.
 
 use crate::arch::ArchConfig;
+use crate::error::SimError;
 use crate::exec::Executor;
 use crate::report::{DataflowKind, SimReport};
 use transpim_dataflow::ir::Program;
 use transpim_dataflow::{layer_flow, token_flow};
+use transpim_fault::{FaultScenario, FaultSession, SystemInfo};
 use transpim_obs::{ChromeTraceSink, ObsError, SinkHandle};
 use transpim_transformer::workload::Workload;
 
@@ -107,7 +109,81 @@ impl Accelerator {
             scoped,
             total_ops: workload.total_ops(),
             batch: workload.batch,
+            faults: None,
         }
+    }
+
+    /// Simulate under an injected fault scenario with graceful
+    /// degradation: tokens re-shard around failed banks, ring traffic
+    /// re-routes around dead neighbor links over the shared channel bus
+    /// (Figure 9's 8T path), stuck bit-planes serialize the surviving
+    /// subarrays, broken ACU dividers fall back to in-array
+    /// Newton–Raphson, and transient flips are absorbed by the scenario's
+    /// ECC scheme. The report carries the fault accounting in
+    /// [`SimReport::faults`].
+    ///
+    /// An *empty* scenario produces a report byte-identical to
+    /// [`Accelerator::simulate`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Scenario`] when the scenario references hardware the
+    /// geometry does not have, [`SimError::Uncorrectable`] when a fault
+    /// exceeds every degradation policy (no banks survive, a bank's
+    /// subarrays all stuck, or an unprotected transient flip).
+    pub fn simulate_degraded(
+        &self,
+        workload: &Workload,
+        dataflow: DataflowKind,
+        scenario: &FaultScenario,
+    ) -> Result<SimReport, SimError> {
+        self.simulate_degraded_with_sink(workload, dataflow, scenario, SinkHandle::null())
+    }
+
+    /// [`Accelerator::simulate_degraded`] with an observability sink:
+    /// fault events (ECC corrections, parity retries) appear as instants
+    /// on a dedicated trace track, named lazily so fault-free traces stay
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// See [`Accelerator::simulate_degraded`].
+    pub fn simulate_degraded_with_sink(
+        &self,
+        workload: &Workload,
+        dataflow: DataflowKind,
+        scenario: &FaultScenario,
+        sink: SinkHandle,
+    ) -> Result<SimReport, SimError> {
+        let g = &self.arch.hbm.geometry;
+        let info = SystemInfo {
+            total_banks: g.total_banks(),
+            total_groups: g.total_groups(),
+            subarrays_per_bank: g.subarrays_per_bank,
+        };
+        let mut session = FaultSession::new(scenario, info)?;
+        // Re-shard over the surviving pool (session validation guarantees
+        // at least one healthy bank). The compiled program addresses the
+        // healthy banks renumbered contiguously in ring order.
+        let healthy = g.total_banks() - session.failed_bank_count();
+        let program = match dataflow {
+            DataflowKind::Token => token_flow::compile(workload, healthy),
+            DataflowKind::Layer => layer_flow::compile(workload, healthy),
+        };
+        let mut exec = Executor::new(self.arch.clone());
+        exec.apply_ring_faults(&session);
+        let (stats, scoped) = exec.run_degraded_with_sink(&program, &mut session, sink)?;
+        Ok(SimReport {
+            system: self.arch.system_label(dataflow.label()),
+            arch: self.arch.kind,
+            dataflow,
+            workload: workload.name.clone(),
+            stats,
+            scoped,
+            total_ops: workload.total_ops(),
+            batch: workload.batch,
+            faults: if scenario.is_empty() { None } else { Some(session.stats()) },
+        })
     }
 
     /// Like [`Accelerator::simulate`], but additionally returns a

@@ -4,7 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 use transpim_acu::adder_tree::AcuParams;
-use transpim_hbm::config::HbmConfig;
+use transpim_hbm::config::{ConfigError, HbmConfig};
 use transpim_pim::cost::PimCostParams;
 
 /// Which hardware the memory system has.
@@ -119,6 +119,33 @@ impl ArchConfig {
     pub fn system_label(&self, dataflow: &str) -> String {
         format!("{dataflow}-{}", self.kind.label())
     }
+
+    /// Validate the configuration, returning it for chaining. User-facing
+    /// entry points (CLI, scenario files) call this instead of letting a
+    /// zero dimension panic deep inside pricing.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending field: zero geometry
+    /// dimensions, non-positive bus rates or timings, or zero ACU design
+    /// knobs.
+    pub fn validated(self) -> Result<Self, ConfigError> {
+        self.hbm.validate()?;
+        for (field, v) in [
+            ("acu.p_sub", self.acu.p_sub),
+            ("acu.p_add", self.acu.p_add),
+            ("acu.tree_width", self.acu.tree_width),
+            ("pim.p_sub", self.pim.p_sub),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::NonPositive(field));
+            }
+        }
+        if !(self.acu.clock_ghz > 0.0 && self.acu.clock_ghz.is_finite()) {
+            return Err(ConfigError::NonPositive("acu.clock_ghz"));
+        }
+        Ok(self)
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +168,17 @@ mod tests {
         assert_eq!(a.acu.p_sub, 8);
         assert_eq!(a.pim.p_sub, 8);
         assert_eq!(a.system_label("Token"), "Token-TransPIM");
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        assert!(ArchConfig::new(ArchKind::TransPim).validated().is_ok());
+        let bad = ArchConfig::new(ArchKind::TransPim).with_stacks(0);
+        let e = bad.validated().expect_err("zero stacks");
+        assert!(e.to_string().contains("geometry.stacks"), "{e}");
+        let mut bad = ArchConfig::new(ArchKind::TransPim);
+        bad.acu.p_add = 0;
+        let e = bad.validated().expect_err("zero p_add");
+        assert!(e.to_string().contains("acu.p_add"), "{e}");
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::arch::{ArchConfig, ArchKind};
 use crate::calib;
+use crate::error::SimError;
 use std::collections::{HashMap, HashSet};
 use transpim_acu::adder_tree::AcuReduceModel;
 use transpim_acu::data_buffer::DataBufferModel;
@@ -29,6 +30,7 @@ use transpim_acu::ring::{
     schedule_hops_placed, Hop, HopPlacement, ScheduleResult, TransferCostModel,
 };
 use transpim_dataflow::ir::{BankRange, Program, Step, StepDelta};
+use transpim_fault::{FaultSession, FlipOutcome};
 use transpim_hbm::engine::{tracks, Engine, LumpAction, Phase};
 use transpim_hbm::geometry::BankId;
 use transpim_hbm::resource::ResourceMap;
@@ -73,7 +75,15 @@ pub struct Executor {
     /// default so traced compressed runs stay byte-identical to traced
     /// unrolled runs.
     collapse_repeats: bool,
+    /// Whether [`Executor::apply_ring_faults`] rewired the resource map.
+    /// A degraded executor prices a different machine than any
+    /// [`ArchConfig`] describes, so it is never reused across cells.
+    map_faulted: bool,
 }
+
+/// Threaded fault context: `None` everywhere on the fault-free path, so
+/// pricing is byte-identical to a build without this subsystem.
+type FaultCtx<'a> = Option<&'a mut FaultSession>;
 
 impl Executor {
     /// Normalize an input configuration to what the executor prices:
@@ -101,7 +111,7 @@ impl Executor {
     /// describes (modulo the bus-rate normalization [`Executor::new`]
     /// applies) — i.e. whether reusing it for `arch` is sound.
     pub fn prices_arch(&self, arch: &ArchConfig) -> bool {
-        self.arch == Self::normalized(arch.clone())
+        !self.map_faulted && self.arch == Self::normalized(arch.clone())
     }
 
     /// Build an executor for `arch`.
@@ -136,7 +146,14 @@ impl Executor {
             ring_detail_emitted: HashSet::new(),
             tree_detail_emitted: HashSet::new(),
             collapse_repeats: false,
+            map_faulted: false,
         }
+    }
+
+    /// The resource map transfers are routed over (after any applied ring
+    /// faults).
+    pub fn resource_map(&self) -> &ResourceMap {
+        &self.map
     }
 
     /// The architecture being priced.
@@ -175,7 +192,73 @@ impl Executor {
     }
 
     fn run_on(&mut self, program: &Program, engine: &mut Engine) {
-        self.run_segment(program.steps(), engine, &mut None);
+        if let Err(e) = self.run_segment(program.steps(), engine, &mut None, &mut None) {
+            unreachable!("fault-free pricing cannot fail: {e}");
+        }
+    }
+
+    /// Run a program under a fault session: every lump is repriced through
+    /// the degradation policies (stuck-plane serialization, ECC checks and
+    /// corrections, bounded parity retries, divider fallback), correctable
+    /// faults are absorbed into the statistics, and uncorrectable ones
+    /// surface as a typed [`SimError`].
+    ///
+    /// Ring-link faults change *routing*, not lump repricing — apply them
+    /// first with [`Executor::apply_ring_faults`]. An empty session leaves
+    /// the run byte-identical to [`Executor::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Uncorrectable`] when an injected fault exceeds the ECC
+    /// scheme and every degradation policy.
+    pub fn run_degraded(
+        &mut self,
+        program: &Program,
+        session: &mut FaultSession,
+    ) -> Result<(SimStats, ScopedStats), SimError> {
+        self.run_degraded_with_sink(program, session, SinkHandle::null())
+    }
+
+    /// [`Executor::run_degraded`] with an observability sink attached:
+    /// fault events (ECC corrections, parity retries) are emitted as
+    /// instants on the dedicated fault track alongside the usual phase
+    /// spans and counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Executor::run_degraded`].
+    pub fn run_degraded_with_sink(
+        &mut self,
+        program: &Program,
+        session: &mut FaultSession,
+        sink: SinkHandle,
+    ) -> Result<(SimStats, ScopedStats), SimError> {
+        let mut engine = Engine::with_sink(sink);
+        engine.set_latency_scale(1.0 + self.arch.hbm.timing.refresh_overhead());
+        self.run_segment(program.steps(), &mut engine, &mut None, &mut Some(session))?;
+        Ok(engine.into_stats())
+    }
+
+    /// Rewire the resource map around the session's ring-link faults: dead
+    /// links fall back to the shared channel bus (Figure 9's 8T path),
+    /// degraded links keep their dedicated link at reduced bandwidth. The
+    /// communication memo caches are invalidated; the closed-form
+    /// one-to-all broadcast rides the channel buses already and is
+    /// unaffected by neighbor-link faults.
+    pub fn apply_ring_faults(&mut self, session: &FaultSession) {
+        if session.dead_links().is_empty() && session.degraded_links().is_empty() {
+            return;
+        }
+        let dead: Vec<u32> = session.dead_links().iter().copied().collect();
+        let degraded: Vec<(u32, f64)> =
+            session.degraded_links().iter().map(|(&g, &f)| (g, f)).collect();
+        self.map = self.map.clone().with_ring_faults(&dead, &degraded);
+        self.ring_cache.clear();
+        self.broadcast_cache.clear();
+        self.tree_cache.clear();
+        self.ring_hop_cache.clear();
+        self.tree_hop_cache.clear();
+        self.map_faulted = true;
     }
 
     /// Record a lump into the replay log (when recording) and run it.
@@ -195,6 +278,139 @@ impl Executor {
         engine.run(phase);
     }
 
+    /// Gate every priced lump through the fault session (when one is
+    /// attached) and hand it to [`Executor::lump_out`]. With no session
+    /// this is exactly `lump_out` — the fault-free path stays
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Uncorrectable`] for flips the ECC scheme cannot absorb.
+    fn emit(
+        &self,
+        engine: &mut Engine,
+        log: &mut Option<&mut Vec<LumpAction>>,
+        fault: &mut FaultCtx<'_>,
+        phase: Phase,
+    ) -> Result<(), SimError> {
+        let Some(sess) = fault.as_deref_mut() else {
+            Self::lump_out(engine, log, phase);
+            return Ok(());
+        };
+        let Phase::Lump { category, latency_ns, energy_pj, bytes } = phase else {
+            Self::lump_out(engine, log, phase);
+            return Ok(());
+        };
+        let (latency_ns, energy_pj) =
+            self.degrade(engine, sess, category, latency_ns, energy_pj, bytes)?;
+        Self::lump_out(engine, log, Phase::lump(category, latency_ns, energy_pj, bytes));
+        Ok(())
+    }
+
+    /// Apply the lump-level degradation policies and account their
+    /// incremental cost (in scaled engine time, so the session's overhead
+    /// equals the end-to-end latency delta for shape-preserving
+    /// scenarios):
+    ///
+    /// * in-memory arithmetic (and in-array reductions on PIM-only)
+    ///   serializes over the subarrays surviving stuck bit-planes;
+    /// * data movement pays the ECC check-bit bandwidth tax, per-flip
+    ///   SECDED corrections (one extra row cycle + activation each), and
+    ///   one bounded retry of the whole transfer when parity detects a
+    ///   flip it cannot repair;
+    /// * an unprotected flip is uncorrectable — the simulator knows it
+    ///   happened, so silent corruption is reported as an error.
+    ///
+    /// Only `DataMovement` traffic is ECC-checked; `MemTouch` capacity
+    /// walks never leave the arrays.
+    fn degrade(
+        &self,
+        engine: &mut Engine,
+        sess: &mut FaultSession,
+        category: Category,
+        mut latency_ns: f64,
+        mut energy_pj: f64,
+        bytes: f64,
+    ) -> Result<(f64, f64), SimError> {
+        let scale = engine.latency_scale();
+        let in_memory = self.arch.kind.computes_in_memory();
+        let in_array_reduce = in_memory && !self.arch.kind.has_acu();
+        match category {
+            Category::Arithmetic if in_memory => {
+                let slow = sess.pim_slowdown();
+                if slow > 1.0 {
+                    let extra = latency_ns * (slow - 1.0);
+                    latency_ns += extra;
+                    sess.add_overhead(extra * scale, 0.0);
+                }
+            }
+            Category::Reduction if in_array_reduce => {
+                let slow = sess.pim_slowdown();
+                if slow > 1.0 {
+                    let extra = latency_ns * (slow - 1.0);
+                    latency_ns += extra;
+                    sess.add_overhead(extra * scale, 0.0);
+                }
+            }
+            Category::DataMovement => {
+                let tax = sess.ecc_overhead_fraction();
+                if tax > 0.0 {
+                    let extra_lat = latency_ns * tax;
+                    let extra_pj = energy_pj * tax;
+                    latency_ns += extra_lat;
+                    energy_pj += extra_pj;
+                    sess.add_overhead(extra_lat * scale, extra_pj);
+                }
+                match sess.observe_transfer(bytes) {
+                    FlipOutcome::None => {}
+                    FlipOutcome::Corrected(flips) => {
+                        let extra_lat = flips as f64 * self.arch.hbm.timing.t_rc;
+                        let extra_pj = flips as f64 * self.arch.hbm.energy.e_act;
+                        latency_ns += extra_lat;
+                        energy_pj += extra_pj;
+                        sess.add_overhead(extra_lat * scale, extra_pj);
+                        Self::fault_event(engine, sess, "ecc-correct", flips);
+                    }
+                    FlipOutcome::Retry(flips) => {
+                        // One bounded re-read of the transfer (check bits
+                        // included); the retry itself is not re-drawn.
+                        sess.add_overhead(latency_ns * scale, energy_pj);
+                        latency_ns *= 2.0;
+                        energy_pj *= 2.0;
+                        Self::fault_event(engine, sess, "parity-retry", flips);
+                    }
+                    FlipOutcome::Uncorrectable(flips) => {
+                        Self::fault_event(engine, sess, "uncorrectable-flip", flips);
+                        return Err(SimError::Uncorrectable {
+                            fault: format!(
+                                "{flips} transient bit flip(s) on a {bytes:.0}-byte transfer \
+                                 with no correcting ECC scheme"
+                            ),
+                            at_ns: Some(engine.now_ns()),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok((latency_ns, energy_pj))
+    }
+
+    /// Emit a fault instant on the dedicated fault track. The track is
+    /// named lazily on the first event so fault-free traces never see it.
+    fn fault_event(engine: &Engine, sess: &mut FaultSession, name: &'static str, flips: u64) {
+        if !engine.emitting() {
+            return;
+        }
+        if sess.mark_fault_track_named() {
+            engine.sink().track_name(tracks::FAULT, "faults");
+        }
+        engine.sink().instant(
+            InstantEvent::new(name, "fault", tracks::FAULT, engine.now_ns())
+                .with_arg("flips", flips),
+        );
+    }
+
     /// Price a step slice — a whole program or one repeat-body iteration.
     /// The pipelined-ring fusion window applies within the slice (compiled
     /// repeat bodies begin with a scope and end with a memory touch, so
@@ -206,7 +422,8 @@ impl Executor {
         steps: &[Step],
         engine: &mut Engine,
         log: &mut Option<&mut Vec<LumpAction>>,
-    ) {
+        fault: &mut FaultCtx<'_>,
+    ) -> Result<(), SimError> {
         let mut i = 0;
         while i < steps.len() {
             // Pipelined ring: a ring broadcast immediately followed by the
@@ -246,28 +463,35 @@ impl Executor {
                             .with_arg("repeat", *repeat),
                         );
                     }
-                    Self::lump_out(
+                    // The overlap window is computed from the fault-free
+                    // compute latency; degradation applies to the residual
+                    // lumps afterwards (conservative — a slowed multiply
+                    // could hide more of the ring than we credit).
+                    self.emit(
                         engine,
                         log,
+                        fault,
                         Phase::lump(
                             Category::DataMovement,
                             visible_ring,
                             ring.energy_pj * *repeat as f64 * f64::from(*parallel),
                             ring.bytes * *repeat as f64 * f64::from(*parallel),
                         ),
-                    );
-                    Self::lump_out(
+                    )?;
+                    self.emit(
                         engine,
                         log,
+                        fault,
                         Phase::lump(Category::Arithmetic, mul_lat, mul_pj, 0.0),
-                    );
+                    )?;
                     i += 2;
                     continue;
                 }
             }
-            self.price(&steps[i], engine, log);
+            self.price(&steps[i], engine, log, fault)?;
             i += 1;
         }
+        Ok(())
     }
 
     /// Run a program with a full Chrome-trace timeline recorded; returns
@@ -286,7 +510,13 @@ impl Executor {
         Ok((stats, scoped, trace))
     }
 
-    fn price(&mut self, step: &Step, engine: &mut Engine, log: &mut Option<&mut Vec<LumpAction>>) {
+    fn price(
+        &mut self,
+        step: &Step,
+        engine: &mut Engine,
+        log: &mut Option<&mut Vec<LumpAction>>,
+        fault: &mut FaultCtx<'_>,
+    ) -> Result<(), SimError> {
         match *step {
             Step::Scope(ref label) => {
                 if let Some(log) = log.as_deref_mut() {
@@ -296,31 +526,38 @@ impl Executor {
             }
 
             Step::Repeat { count, ref body, ref delta } => {
-                self.price_repeat(count, body, delta, engine, log);
+                self.price_repeat(count, body, delta, engine, log, fault)?;
             }
 
             Step::PointwiseMul { elems_per_bank, total_elems, a_bits, b_bits } => {
                 let (lat, pj) =
                     self.pointwise(PimOp::Mul { a_bits, b_bits }, elems_per_bank, total_elems);
-                Self::lump_out(engine, log, Phase::lump(Category::Arithmetic, lat, pj, 0.0));
+                self.emit(engine, log, fault, Phase::lump(Category::Arithmetic, lat, pj, 0.0))?;
             }
             Step::PointwiseAdd { elems_per_bank, total_elems, bits } => {
                 let (lat, pj) = self.pointwise(PimOp::Add { bits }, elems_per_bank, total_elems);
-                Self::lump_out(engine, log, Phase::lump(Category::Arithmetic, lat, pj, 0.0));
+                self.emit(engine, log, fault, Phase::lump(Category::Arithmetic, lat, pj, 0.0))?;
             }
             Step::Exp { elems_per_bank, total_elems, bits, order } => {
                 let (lat, pj) =
                     self.pointwise(PimOp::ExpTaylor { bits, order }, elems_per_bank, total_elems);
-                Self::lump_out(engine, log, Phase::lump(Category::Arithmetic, lat, pj, 0.0));
+                self.emit(engine, log, fault, Phase::lump(Category::Arithmetic, lat, pj, 0.0))?;
             }
 
             Step::Reduce { vec_len, bits, vectors_per_bank, total_vectors } => {
                 let (lat, pj) = self.reduce(vec_len, bits, vectors_per_bank, total_vectors);
-                Self::lump_out(engine, log, Phase::lump(Category::Reduction, lat, pj, 0.0));
+                self.emit(engine, log, fault, Phase::lump(Category::Reduction, lat, pj, 0.0))?;
             }
             Step::Recip { per_bank, total } => {
-                let (lat, pj) = self.recip(per_bank, total);
-                Self::lump_out(engine, log, Phase::lump(Category::Reduction, lat, pj, 0.0));
+                let (lat, pj) = match fault.as_deref_mut() {
+                    Some(sess)
+                        if self.arch.kind.has_acu() && !sess.broken_dividers().is_empty() =>
+                    {
+                        self.recip_degraded(per_bank, total, sess, engine.latency_scale())
+                    }
+                    _ => self.recip(per_bank, total),
+                };
+                self.emit(engine, log, fault, Phase::lump(Category::Reduction, lat, pj, 0.0))?;
             }
 
             Step::Replicate { value_bits, copies, count_per_bank, total_count } => {
@@ -334,29 +571,31 @@ impl Executor {
                 let lat = per_ns * count_per_bank as f64;
                 let pj = per_pj * total_count as f64;
                 let bytes = total_count as f64 * f64::from(copies) * f64::from(value_bits) / 8.0;
-                Self::lump_out(engine, log, Phase::lump(Category::DataMovement, lat, pj, bytes));
+                self.emit(engine, log, fault, Phase::lump(Category::DataMovement, lat, pj, bytes))?;
             }
 
             Step::HostBroadcast { bytes, banks } => {
                 let (lat, pj) = self.host_broadcast(bytes, banks);
-                Self::lump_out(
+                self.emit(
                     engine,
                     log,
+                    fault,
                     Phase::lump(
                         Category::DataMovement,
                         lat,
                         pj,
                         bytes as f64 * f64::from(banks.max(1)),
                     ),
-                );
+                )?;
             }
             Step::HostScatter { total_bytes } => {
                 let (lat, pj) = self.host_scatter(total_bytes);
-                Self::lump_out(
+                self.emit(
                     engine,
                     log,
+                    fault,
                     Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64),
-                );
+                )?;
             }
 
             Step::RingBroadcast { banks, bytes_per_hop, repeat, parallel } => {
@@ -364,16 +603,17 @@ impl Executor {
                 if engine.emitting() {
                     self.emit_ring_hops(engine, banks, bytes_per_hop, repeat, &r);
                 }
-                Self::lump_out(
+                self.emit(
                     engine,
                     log,
+                    fault,
                     Phase::lump(
                         Category::DataMovement,
                         r.latency_ns * repeat as f64,
                         r.energy_pj * repeat as f64 * f64::from(parallel),
                         r.bytes * repeat as f64 * f64::from(parallel),
                     ),
-                );
+                )?;
             }
             Step::OneToAll { src, banks, bytes, parallel } => {
                 let r = self.one_to_all(src, banks, bytes);
@@ -386,59 +626,63 @@ impl Executor {
                             .with_arg("slots", u64::from(r.slots)),
                     );
                 }
-                Self::lump_out(
+                self.emit(
                     engine,
                     log,
+                    fault,
                     Phase::lump(
                         Category::DataMovement,
                         r.latency_ns,
                         r.energy_pj * f64::from(parallel),
                         r.bytes * f64::from(parallel),
                     ),
-                );
+                )?;
             }
             Step::PairwiseReduceTree { banks, bytes, bits, elems, parallel } => {
                 let r = self.reduce_tree_moves(banks, bytes);
                 if engine.emitting() {
                     self.emit_tree_hops(engine, banks, bytes, r.latency_ns);
                 }
-                Self::lump_out(
+                self.emit(
                     engine,
                     log,
+                    fault,
                     Phase::lump(
                         Category::DataMovement,
                         r.latency_ns,
                         r.energy_pj * f64::from(parallel),
                         r.bytes * f64::from(parallel),
                     ),
-                );
+                )?;
                 // One in-bank add per tree level.
                 let levels = 32 - banks.count.max(1).leading_zeros() as u64;
                 let (lat, pj) = self.pointwise(PimOp::Add { bits }, elems, elems * levels);
-                Self::lump_out(
+                self.emit(
                     engine,
                     log,
+                    fault,
                     Phase::lump(
                         Category::Reduction,
                         lat * levels as f64,
                         pj * f64::from(parallel),
                         0.0,
                     ),
-                );
+                )?;
             }
 
             Step::BroadcastDup { bytes, banks } => {
                 let (lat, pj) = self.broadcast_dup(bytes, banks);
-                Self::lump_out(
+                self.emit(
                     engine,
                     log,
+                    fault,
                     Phase::lump(
                         Category::DataMovement,
                         lat,
                         pj,
                         bytes as f64 * f64::from(banks.max(1)),
                     ),
-                );
+                )?;
             }
             Step::IntraBankCopy { bytes_per_bank, total_bytes } => {
                 let (lat, pj) = match &self.buffer {
@@ -451,30 +695,34 @@ impl Executor {
                         self.rowclone.buffered_copy_energy_pj(total_bytes),
                     ),
                 };
-                Self::lump_out(
+                self.emit(
                     engine,
                     log,
+                    fault,
                     Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64),
-                );
+                )?;
             }
             Step::ShuffleAll { total_bytes } => {
                 let (lat, pj) = self.shuffle_all(total_bytes);
-                Self::lump_out(
+                self.emit(
                     engine,
                     log,
+                    fault,
                     Phase::lump(Category::DataMovement, lat, pj, total_bytes as f64),
-                );
+                )?;
             }
 
             Step::MemTouch { bytes_per_bank, total_bytes } => {
                 let (lat, pj) = self.mem_touch(bytes_per_bank, total_bytes);
-                Self::lump_out(
+                self.emit(
                     engine,
                     log,
+                    fault,
                     Phase::lump(Category::Other, lat, pj, total_bytes as f64),
-                );
+                )?;
             }
         }
+        Ok(())
     }
 
     /// Price `count` iterations of a repeat body.
@@ -502,21 +750,24 @@ impl Executor {
         delta: &[StepDelta],
         engine: &mut Engine,
         log: &mut Option<&mut Vec<LumpAction>>,
-    ) {
+        fault: &mut FaultCtx<'_>,
+    ) -> Result<(), SimError> {
         if count == 0 || body.is_empty() {
-            return;
+            return Ok(());
         }
         let zero_delta = delta.iter().all(StepDelta::is_zero);
-        if zero_delta && !engine.emitting() && log.is_none() {
+        // A fault session disables the replay fast path: transient-flip
+        // draws advance per lump, so every iteration must be priced live.
+        if zero_delta && !engine.emitting() && log.is_none() && fault.is_none() {
             let mut recorded = Vec::new();
-            self.run_segment(body, engine, &mut Some(&mut recorded));
+            self.run_segment(body, engine, &mut Some(&mut recorded), &mut None)?;
             #[cfg(debug_assertions)]
             let mut check = engine.clone();
             engine.replay_lumps(&recorded, count - 1);
             #[cfg(debug_assertions)]
             {
                 for _ in 1..count {
-                    self.run_segment(body, &mut check, &mut None);
+                    let _ = self.run_segment(body, &mut check, &mut None, &mut None);
                 }
                 debug_assert_eq!(check.stats(), engine.stats(), "replayed repeat stats diverged");
                 debug_assert_eq!(
@@ -525,7 +776,7 @@ impl Executor {
                     "replayed repeat scopes diverged"
                 );
             }
-            return;
+            return Ok(());
         }
 
         let collapse = self.collapse_repeats && count > 1 && engine.emitting() && log.is_none();
@@ -541,7 +792,7 @@ impl Executor {
                 summary_start = engine.now_ns();
                 engine.set_quiet(true);
             }
-            self.run_segment(&scratch, engine, log);
+            self.run_segment(&scratch, engine, log, fault)?;
         }
         if collapse {
             engine.set_quiet(false);
@@ -566,6 +817,7 @@ impl Executor {
                 );
             }
         }
+        Ok(())
     }
 
     // ---- compute pricing -------------------------------------------------
@@ -668,6 +920,33 @@ impl Executor {
                 (lat, pj)
             }
         }
+    }
+
+    /// [`Executor::recip`] when some ACU dividers are broken: the affected
+    /// banks fall back to Newton–Raphson reciprocal in their arrays (the
+    /// OriginalPim path), running alongside the healthy dividers. Latency
+    /// is the slower of the two sides; energy blends by the broken
+    /// fraction. The incremental cost is charged to the session in scaled
+    /// engine time.
+    fn recip_degraded(
+        &self,
+        per_bank: u64,
+        total: u64,
+        sess: &mut FaultSession,
+        scale: f64,
+    ) -> (f64, f64) {
+        let (div_lat, div_pj) = self.recip(per_bank, total);
+        let mul = PimOp::Mul { a_bits: 16, b_bits: 16 };
+        let add = PimOp::Add { bits: 16 };
+        let iters = f64::from(calib::PIM_RECIP_ITERATIONS);
+        let nr_lat =
+            iters * (2.0 * self.pim.latency_ns(mul, per_bank) + self.pim.latency_ns(add, per_bank));
+        let nr_pj = iters * (2.0 * self.pim.energy_pj(mul, total) + self.pim.energy_pj(add, total));
+        let frac = sess.broken_divider_fraction();
+        let lat = div_lat.max(nr_lat);
+        let pj = div_pj * (1.0 - frac) + nr_pj * frac;
+        sess.add_overhead((lat - div_lat) * scale, pj - div_pj);
+        (lat, pj)
     }
 
     // ---- movement pricing ------------------------------------------------

@@ -43,13 +43,20 @@ pub mod accelerator;
 pub mod arch;
 pub mod banksim;
 pub mod calib;
+pub mod error;
 pub mod exec;
 pub mod functional;
 pub mod report;
 
 pub use accelerator::Accelerator;
 pub use arch::{ArchConfig, ArchKind};
+pub use error::SimError;
 pub use report::{DataflowKind, SimReport};
+
+// Re-export the fault-injection surface so bins, benches, and tests drive
+// degraded-mode simulation without depending on `transpim-fault` directly.
+pub use transpim_fault as fault;
+pub use transpim_fault::{FaultScenario, FaultSession, FaultStats};
 
 // Re-export the step type the engine interprets, for downstream tooling.
 pub use transpim_dataflow::ir::Step;

@@ -2,6 +2,7 @@
 
 use crate::arch::ArchKind;
 use serde::{Deserialize, Serialize};
+use transpim_fault::FaultStats;
 use transpim_hbm::stats::{Category, ScopedStats, SimStats};
 
 /// Which dataflow a simulation used (the paper's "Token-"/"Layer-" prefix).
@@ -51,6 +52,11 @@ pub struct SimReport {
     pub total_ops: u64,
     /// Sequences per batch.
     pub batch: usize,
+    /// Degraded-mode fault accounting — present only for runs that carried
+    /// a non-empty fault scenario, so fault-free reports serialize
+    /// byte-identically to reports from before the fault subsystem existed.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub faults: Option<FaultStats>,
 }
 
 impl SimReport {
@@ -162,7 +168,23 @@ mod tests {
             scoped: ScopedStats::new(),
             total_ops: 4_000_000_000,
             batch: 2,
+            faults: None,
         }
+    }
+
+    #[test]
+    fn fault_free_reports_never_serialize_the_faults_field() {
+        // Wire-shape pin: `faults: None` must leave the JSON identical to
+        // pre-fault-subsystem reports, and a populated field round-trips.
+        let r = report();
+        let j = r.to_json().unwrap();
+        assert!(!j.contains("faults"));
+        let mut with = report();
+        with.faults = Some(FaultStats::default());
+        let j = with.to_json().unwrap();
+        assert!(j.contains("\"faults\""));
+        let back: SimReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, with);
     }
 
     #[test]

@@ -52,6 +52,13 @@ cargo test --offline -q --test parallel_determinism
 echo "==> repeat equivalence (compressed vs unrolled byte-identical)"
 cargo test --offline -q --test repeat_equivalence
 
+# Fault suite: injection disabled must be byte-invisible, degraded runs
+# must be deterministic at any job count, and ring degradation must price
+# consistently. The injection seed is pinned so reruns are byte-identical.
+echo "==> fault suite (byte-invisible when off, deterministic when on)"
+TRANSPIM_FAULT_SEED="${TRANSPIM_FAULT_SEED:-20220402}" \
+  cargo test --offline -q --test fault_equivalence --test fault_degradation
+
 # Property suites, by name and under a pinned seed, with a case-count
 # audit. The vendored proptest engine appends "<test>\t<cases>" for every
 # proptest! property to $TRANSPIM_PROPTEST_SUMMARY; if any property
@@ -83,6 +90,8 @@ for required in \
   differential_fuzz::repeat_compression_is_an_exact_encoding \
   differential_fuzz::token_and_layer_flow_encoders_agree \
   differential_fuzz::grid_pricing_is_job_count_invariant \
+  differential_fuzz::correctable_faults_stay_within_error_budget \
+  differential_fuzz::uncorrectable_faults_surface_as_sim_error \
   serde_roundtrips::random_programs_roundtrip_and_keep_wire_shape
 do
   if ! grep -q "^${required}$(printf '\t')" "$summary"; then

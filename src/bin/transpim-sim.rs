@@ -66,6 +66,7 @@ struct Options {
     trace: Option<String>,
     metrics: Option<String>,
     dump_ir: Option<String>,
+    faults: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -101,6 +102,10 @@ OPTIONS:
                        PATH ends in .csv); with --all, one suffixed file
                        per system
   --dump-ir <PATH>     write the compiled dataflow program as JSON
+  --faults <PATH>      inject a fault scenario (JSON form of FaultScenario:
+                       failed banks, stuck bit-planes, dead/degraded ring
+                       links, transient flips, broken dividers) and run in
+                       graceful-degradation mode; incompatible with --all
   --help               show this help
 ";
 
@@ -154,6 +159,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         trace: None,
         metrics: None,
         dump_ir: None,
+        faults: None,
     };
     let mut batch = None;
     let mut seq_len = None;
@@ -206,6 +212,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--trace" => o.trace = Some(value("--trace")?),
             "--metrics" => o.metrics = Some(value("--metrics")?),
             "--dump-ir" => o.dump_ir = Some(value("--dump-ir")?),
+            "--faults" => o.faults = Some(value("--faults")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -224,6 +231,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if o.stacks == 0 {
         return Err("--stacks must be positive".into());
+    }
+    if o.faults.is_some() && o.all {
+        return Err("--faults runs one system at a time; drop --all".into());
     }
     Ok(o)
 }
@@ -249,6 +259,13 @@ fn push_headline_metrics(m: &mut MetricsSink, report: &transpim::report::SimRepo
     m.push_metric("report.energy_mj", report.stats.total_energy_pj() * 1e-9);
     m.push_metric("report.bytes_moved", report.stats.bytes_moved);
     m.push_metric("report.utilization", report.utilization());
+    if let Some(f) = &report.faults {
+        m.push_metric("fault.injected", f.injected as f64);
+        m.push_metric("fault.detected", f.detected as f64);
+        m.push_metric("fault.corrected", f.corrected as f64);
+        m.push_metric("fault.overhead_latency_ns", f.overhead_latency_ns);
+        m.push_metric("fault.overhead_energy_pj", f.overhead_energy_pj);
+    }
 }
 
 fn main() -> ExitCode {
@@ -300,7 +317,13 @@ fn main() -> ExitCode {
             reports.push(report);
         }
         if let Some(path) = &opts.json {
-            let json = serde_json::to_string_pretty(&reports).expect("serialize reports");
+            let json = match serde_json::to_string_pretty(&reports) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("error: serializing reports: {e}");
+                    return ExitCode::from(1);
+                }
+            };
             if let Err(e) = std::fs::write(path, json) {
                 eprintln!("error: writing {path}: {e}");
                 return ExitCode::from(1);
@@ -308,6 +331,19 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+
+    // Load the fault scenario up front so a bad file is a one-line
+    // diagnostic before any simulation work starts.
+    let scenario = match &opts.faults {
+        Some(path) => match transpim::fault::FaultScenario::from_json_file(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
 
     let acc = Accelerator::new(make_arch(opts.arch));
 
@@ -357,8 +393,34 @@ fn main() -> ExitCode {
         _ => SinkHandle::new(FanoutSink::new(handles)),
     };
 
-    let report = acc.simulate_with_sink(&opts.workload, opts.dataflow, sink);
+    let report = match &scenario {
+        Some(s) => match acc.simulate_degraded_with_sink(&opts.workload, opts.dataflow, s, sink) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => acc.simulate_with_sink(&opts.workload, opts.dataflow, sink),
+    };
     println!("{}", report.summary());
+    if let Some(f) = &report.faults {
+        println!();
+        println!(
+            "fault accounting: {} injected, {} detected, {} corrected, {} uncorrectable",
+            f.injected, f.detected, f.corrected, f.uncorrectable
+        );
+        println!(
+            "  degraded hardware: {} failed banks, {} stuck planes, {} dead links, \
+             {} degraded links, {} broken dividers",
+            f.failed_banks, f.stuck_planes, f.dead_links, f.degraded_links, f.broken_dividers
+        );
+        println!(
+            "  degradation overhead: {:.3} ms, {:.3} mJ",
+            f.overhead_latency_ns * 1e-6,
+            f.overhead_energy_pj * 1e-9
+        );
+    }
     println!();
     println!("per-layer-kind breakdown:");
     for (scope, s) in report.scoped.iter() {

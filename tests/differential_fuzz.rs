@@ -1,7 +1,7 @@
 //! Differential fuzz harness: randomized cross-checks between independent
 //! implementations of the same semantics.
 //!
-//! Four comparisons, each over ≥128 generated cases (fixed seeds in CI via
+//! Six comparisons, each over ≥128 generated cases (fixed seeds in CI via
 //! `TRANSPIM_PROPTEST_SEED` in `scripts/check.sh`):
 //!
 //! 1. **banksim vs f32** — the bit-accurate Figure 8 datapath must agree
@@ -17,10 +17,19 @@
 //!    a few f32 ulps (shard boundaries reorder one reduction).
 //! 4. **Executor pricing jobs=1 vs jobs=N** — the job pool must render
 //!    byte-identical reports (and observability documents) at any width.
+//! 5. **Degraded vs fault-free pricing** — a correctable fault scenario
+//!    that preserves the program shape (no failed banks, no link faults)
+//!    must price as exactly the fault-free run plus the session's recorded
+//!    degradation overhead, and must never error.
+//! 6. **Uncorrectable faults** — an unprotected flip storm must surface as
+//!    a typed `SimError::Uncorrectable`, never a panic or silent success.
 
 use proptest::prelude::*;
+use transpim::accelerator::Accelerator;
 use transpim::banksim::{attention_row, attention_row_reference, predicted_aaps, tolerance};
+use transpim::fault::{EccScheme, Fault, FaultScenario};
 use transpim::report::DataflowKind;
+use transpim::SimError;
 use transpim_bench::fuzz::{affine_step, arch_for, delta_for, small_workload, AFFINE_STEP_KINDS};
 use transpim_bench::{run_grid, GridCell};
 use transpim_dataflow::functional::encoder_layer_sharded;
@@ -287,5 +296,104 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (5) + (6) Fault injection: error budget and typed failure
+// ---------------------------------------------------------------------------
+
+/// Total energy across all categories.
+fn total_pj(r: &transpim::report::SimReport) -> f64 {
+    r.stats.energy_pj.iter().sum()
+}
+
+/// `|a - b|` within 1e-9 relative — floating-point reassociation headroom
+/// for the base-plus-overhead identity over thousands of lumps.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn correctable_faults_stay_within_error_budget(
+        arch in 0u8..4,
+        df_idx in 0usize..2,
+        (enc, heads, dh, seq) in (1usize..3, 1usize..4, 1usize..4, 1usize..9),
+        stuck in proptest::collection::vec((0u32..2048, 1u32..32), 0..3),
+        dividers in proptest::collection::vec(0u32..2048, 0..3),
+        per_gib in 0.0f64..64.0,
+        secded in any::<bool>(),
+        seed in 0u64..(1u64 << 32),
+    ) {
+        // Shape-preserving faults only: no failed banks (re-sharding
+        // changes the program) and no link faults (rerouting changes lump
+        // latencies at the source). Everything else must price as the
+        // fault-free run plus the recorded overhead — the error budget.
+        let mut scenario = FaultScenario::empty(seed);
+        scenario.ecc = if secded { EccScheme::Secded } else { EccScheme::Parity };
+        scenario.faults = stuck
+            .iter()
+            .map(|&(bank, planes)| Fault::StuckBitPlanes { bank, planes })
+            .chain(dividers.iter().map(|&bank| Fault::BrokenDivider { bank }))
+            .collect();
+        scenario.faults.push(Fault::TransientFlips { per_gib });
+
+        let w = small_workload(enc, 0, heads, dh, 4 * heads * dh, seq, 0, 1);
+        let df = DataflowKind::ALL[df_idx % DataflowKind::ALL.len()];
+        let acc = Accelerator::new(arch_for(arch));
+        let base = acc.simulate(&w, df);
+        let degraded = acc
+            .simulate_degraded(&w, df, &scenario)
+            .expect("correctable scenario must not error");
+        let f = degraded.faults.clone().expect("non-empty scenario carries accounting");
+
+        prop_assert_eq!(f.uncorrectable, 0, "nothing here is uncorrectable");
+        prop_assert!(
+            degraded.stats.latency_ns >= base.stats.latency_ns,
+            "degradation must never speed the machine up: {} < {}",
+            degraded.stats.latency_ns,
+            base.stats.latency_ns
+        );
+        prop_assert!(
+            close(degraded.stats.latency_ns, base.stats.latency_ns + f.overhead_latency_ns),
+            "latency budget: degraded {} != base {} + overhead {}",
+            degraded.stats.latency_ns,
+            base.stats.latency_ns,
+            f.overhead_latency_ns
+        );
+        prop_assert!(
+            close(total_pj(&degraded), total_pj(&base) + f.overhead_energy_pj),
+            "energy budget: degraded {} != base {} + overhead {}",
+            total_pj(&degraded),
+            total_pj(&base),
+            f.overhead_energy_pj
+        );
+    }
+
+    #[test]
+    fn uncorrectable_faults_surface_as_sim_error(
+        (enc, heads, dh) in (1usize..3, 1usize..4, 1usize..4),
+        seq in 8usize..64,
+        per_gib in 2e9f64..4e9,
+        seed in 0u64..(1u64 << 32),
+    ) {
+        // A flip storm with no ECC: every inter-bank transfer of even a few
+        // bytes draws at least one flip, and with `EccScheme::None` the
+        // first one must surface as a typed error — never a panic, never a
+        // silently corrupted report. Token dataflow with seq >= 8 shards
+        // across banks, so ring traffic is guaranteed.
+        let mut scenario = FaultScenario::empty(seed);
+        scenario.ecc = EccScheme::None;
+        scenario.faults = vec![Fault::TransientFlips { per_gib }];
+
+        let w = small_workload(enc, 0, heads, dh, 4 * heads * dh, seq, 0, 1);
+        let acc = Accelerator::new(arch_for(0)); // TransPIM: ring broadcasts present
+        let err = acc
+            .simulate_degraded(&w, DataflowKind::Token, &scenario)
+            .expect_err("unprotected flip storm must fail");
+        prop_assert!(matches!(err, SimError::Uncorrectable { .. }), "{}", err);
     }
 }
